@@ -1,0 +1,117 @@
+"""Availability study — §5.2 ([Se05]) and the dissertation's conclusions.
+
+Abstract/Chapter-7 claims asserted here:
+
+* replication + threat trading increases availability in the presence of
+  network partitions (P4 serves everything, the primary-partition baseline
+  blocks minority writes, no replication loses every remote access);
+* the approach is most worth its costs where (i) the read-to-write ratio
+  is high (the write penalty amortizes), (ii) the number of replicated
+  nodes is small (the write penalty grows per node), and (iii) systems
+  that do not need the degraded-mode history reconcile cheaper (Fig. 5.6,
+  asserted in bench_ch5_reconciliation).
+"""
+
+from conftest import print_table
+from repro.evaluation import (
+    CONFIGURATIONS,
+    compare_configurations,
+    node_count_sweep,
+    read_ratio_sweep,
+)
+
+
+def test_availability_ladder(benchmark):
+    results = benchmark.pedantic(
+        lambda: compare_configurations(operations=400), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            name,
+            f"{r.availability:.3f}",
+            f"{r.write_availability:.3f}",
+            f"{r.read_availability:.3f}",
+            f"{r.throughput:.1f}",
+            r.threats_accepted,
+            f"{r.reconciliation_seconds:.2f}",
+        ]
+        for name, r in results.items()
+    ]
+    print_table(
+        "[Se05] availability under partitions (3 nodes, 90% reads)",
+        ["configuration", "avail", "write avail", "read avail", "ops/s", "threats", "recon s"],
+        rows,
+    )
+    # Availability increases along the protocol ladder...
+    assert results["no-replication"].availability < results["primary-partition"].availability
+    assert results["primary-partition"].availability <= results["p4"].availability
+    assert results["p4"].availability == 1.0
+    # ...P4's write availability is perfect while the primary-partition
+    # baseline blocks minority-partition writes...
+    assert results["p4"].write_availability == 1.0
+    assert results["primary-partition"].write_availability < 1.0
+    # ...replicated reads never block (reads are local), unlike the
+    # unreplicated baseline.
+    assert results["p4"].read_availability == 1.0
+    assert results["no-replication"].read_availability < 1.0
+    # The cost side: every availability step costs throughput, and the
+    # threat debt grows with the permissiveness of the protocol.
+    assert (
+        results["no-replication"].throughput
+        > results["primary-partition"].throughput
+        > results["p4"].throughput
+    )
+    assert results["p4"].threats_accepted > results["adaptive-voting"].threats_accepted >= 0
+
+
+def test_claim_read_write_ratio(benchmark):
+    """Claim (i): cost/benefit improves with the read-to-write ratio."""
+    sweep = benchmark.pedantic(
+        lambda: read_ratio_sweep(ratios=(0.5, 0.8, 0.95)), rounds=1, iterations=1
+    )
+    rows = []
+    cost_ratios = []
+    for ratio, configs in sorted(sweep.items()):
+        cost_ratio = configs["p4"].throughput / configs["no-replication"].throughput
+        gain = configs["p4"].availability - configs["no-replication"].availability
+        cost_ratios.append(cost_ratio)
+        rows.append([f"{ratio:.2f}", f"{cost_ratio:.3f}", f"{gain:.3f}"])
+    print_table(
+        "claim (i) — read ratio vs P4 cost/benefit",
+        ["read ratio", "throughput ratio (p4/none)", "availability gain"],
+        rows,
+    )
+    # The throughput penalty shrinks monotonically as reads dominate,
+    # while the availability gain persists.
+    assert cost_ratios == sorted(cost_ratios)
+    for ratio, configs in sweep.items():
+        assert configs["p4"].availability > configs["no-replication"].availability
+
+
+def test_claim_node_count(benchmark):
+    """Claim (ii): small replicated clusters benefit most."""
+    sweep = benchmark.pedantic(
+        lambda: node_count_sweep(node_counts=(2, 3, 4)), rounds=1, iterations=1
+    )
+    rows = []
+    p4_throughputs = []
+    for count, configs in sorted(sweep.items()):
+        p4_throughputs.append(configs["p4"].throughput)
+        rows.append(
+            [
+                count,
+                f"{configs['p4'].throughput:.1f}",
+                f"{configs['p4'].availability:.3f}",
+                f"{configs['no-replication'].throughput:.1f}",
+            ]
+        )
+    print_table(
+        "claim (ii) — node count vs P4 throughput",
+        ["nodes", "p4 ops/s", "p4 availability", "no-replication ops/s"],
+        rows,
+    )
+    # The replication write penalty grows with the node count: P4
+    # throughput decreases while availability stays perfect.
+    assert p4_throughputs == sorted(p4_throughputs, reverse=True)
+    for configs in sweep.values():
+        assert configs["p4"].availability == 1.0

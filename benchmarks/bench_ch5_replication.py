@@ -1,0 +1,71 @@
+"""Chapter 5 — Fig. 5.4: replication effects on different operations.
+
+Paper reference points (relative to No DeDiSys): single DeDiSys node at
+71% (delete) / 43% (create) / 57% (writes); a second node reduces updates
+to 28% / 15% / 22%; reads are always local (~78% per node) so total read
+capacity grows with every node; the multicast + transaction-handling
+ceiling falls as nodes are added.
+"""
+
+from conftest import print_table
+from repro.evaluation import figure_5_4
+
+OPS = ("create", "setter", "getter", "getter_aggregate", "empty", "delete", "multicast_tx")
+
+
+def test_fig_5_4_replication_effects(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure_5_4(max_nodes=4, count=40), rounds=1, iterations=1
+    )
+    node_counts = sorted(series["setter"].keys())
+    rows = []
+    for op in OPS:
+        row = [op]
+        for nodes in node_counts:
+            value = series[op].get(nodes)
+            row.append(f"{value:.1f}" if value is not None else "-")
+        rows.append(row)
+    print_table(
+        "Fig 5.4 — replication effects (ops/s; node count 0 = No DeDiSys)",
+        ["operation", *[f"{n} nodes" for n in node_counts]],
+        rows,
+    )
+
+    baseline = {op: series[op][0] for op in ("create", "setter", "getter", "delete")}
+    one = {op: series[op][1] for op in ("create", "setter", "getter", "delete")}
+    two = {op: series[op][2] for op in ("create", "setter", "delete")}
+
+    # Single-node DeDiSys ratios (paper: 43% create, 57% writes, 71% delete).
+    assert 0.3 <= one["create"] / baseline["create"] <= 0.6
+    assert 0.4 <= one["setter"] / baseline["setter"] <= 0.7
+    assert 0.6 <= one["delete"] / baseline["delete"] <= 0.9
+    # Reads stay close to the baseline (paper: 78%).
+    assert one["getter"] / baseline["getter"] > 0.6
+
+    # A second node roughly halves update throughput again (paper: the
+    # primary executes, then propagates synchronously).
+    assert two["setter"] < one["setter"] * 0.6
+    assert two["create"] < one["create"] * 0.6
+
+    # Updates decrease monotonically with the node count...
+    for op in ("create", "setter", "delete"):
+        values = [series[op][n] for n in range(1, 5)]
+        assert values == sorted(values, reverse=True), op
+    # ...while total read capacity grows with every added node.
+    aggregates = [series["getter_aggregate"][n] for n in range(1, 5)]
+    assert aggregates == sorted(aggregates)
+    assert aggregates[-1] > series["getter_aggregate"][0] * 2  # paper: 227%
+
+    # Per-node reads and empty operations are independent of the node
+    # count (local execution).
+    getters = [series["getter"][n] for n in range(1, 5)]
+    assert max(getters) - min(getters) < max(getters) * 0.05
+    empties = [series["empty"][n] for n in range(1, 5)]
+    assert max(empties) - min(empties) < max(empties) * 0.05
+
+    # Multicast + transaction handling bounds update throughput and falls
+    # with the node count.
+    ceilings = [series["multicast_tx"][n] for n in range(2, 5)]
+    assert ceilings == sorted(ceilings, reverse=True)
+    for nodes in range(2, 5):
+        assert series["setter"][nodes] < series["multicast_tx"][nodes]

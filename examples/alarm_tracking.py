@@ -1,0 +1,91 @@
+"""Alarm tracking system (ATS) scenario — §1.4, Fig. 1.5, Listing 4.1.
+
+Administrative operators manage alarms; technical operators fill out
+repair reports, working at different locations against different servers.
+The ``ComponentKindReferenceConsistency`` constraint is declared in the
+XML configuration format of Listing 4.1 (read at deployment time) and
+accepts *any* consistency threat (min satisfaction degree UNCHECKABLE):
+the division of labour between the operators bounds the damage.
+
+Run:  python examples/alarm_tracking.py
+"""
+
+from repro import ClusterConfig, DedisysCluster
+from repro.apps.ats import (
+    ATS_XML_CONFIGURATION,
+    Alarm,
+    ComponentKindReferenceConsistency,
+    RepairReport,
+)
+from repro.core import ConstraintViolated
+
+
+def main() -> None:
+    cluster = DedisysCluster(ClusterConfig(node_ids=("admin-site", "field-site", "hq")))
+    cluster.deploy(Alarm)
+    cluster.deploy(RepairReport)
+
+    # Constraints are declared in a configuration file (Listing 4.1) that
+    # is read when the application is deployed.
+    registrations = cluster.load_constraint_configuration(
+        ATS_XML_CONFIGURATION,
+        {"ComponentKindReferenceConsistency": ComponentKindReferenceConsistency},
+    )
+    print("deployed constraints:", [r.name for r in registrations])
+
+    # An alarm of kind "Signal" and its repair report, wired together.
+    alarm = cluster.create_entity(
+        "admin-site", "Alarm", "alarm-7", {"alarm_kind": "Signal", "description": "signal lost"}
+    )
+    report = cluster.create_entity("field-site", "RepairReport", "report-7")
+    cluster.invoke("admin-site", alarm, "assign_report", report)
+    cluster.invoke("field-site", report, "set_alarm", alarm)
+
+    # Healthy mode: the middleware rejects an inadmissible component.
+    try:
+        cluster.invoke("field-site", report, "set_affected_component", "Fuse")
+    except ConstraintViolated as error:
+        print("healthy: middleware rejected ->", error)
+    cluster.invoke("field-site", report, "set_affected_component", "Signal Cable")
+    print("healthy: repair component =", cluster.entity_on("hq", report).get_affected_component())
+
+    # A network split separates the two operators' servers — both must
+    # stay available (the system's high-availability requirement).
+    cluster.partition({"admin-site"}, {"field-site", "hq"})
+    print("\ndegraded:", cluster.is_degraded())
+
+    # The administrative operator reclassifies the alarm while the
+    # technical operator amends the report: both operations validate the
+    # constraint on possibly-stale replicas, raising threats that the
+    # static configuration (minSatisfactionDegree=UNCHECKABLE) accepts.
+    cluster.invoke("admin-site", alarm, "set_alarm_kind", "Power")
+    cluster.invoke("field-site", report, "set_affected_component", "Signal Controller")
+    print("threats (admin-site):", cluster.threat_stores["admin-site"].count_identities())
+    print("threats (field-site):", cluster.threat_stores["field-site"].count_identities())
+
+    # Reunification: re-evaluation finds the constraint violated
+    # (alarm kind "Power" vs component "Signal Controller"); the
+    # reconciliation handler lets a human operator fix the report.
+    cluster.heal()
+
+    def operator_fix(violation):
+        broken = violation.context_entity  # the coordinator's live view
+        print(
+            "  operator callback: alarm kind",
+            broken.resolve(broken.get_alarm()).get_alarm_kind(),
+            "vs component",
+            broken.get_affected_component(),
+        )
+        broken.set_affected_component("Power Supply")
+        return True  # immediate reconciliation
+
+    result = cluster.reconcile(constraint_handler=operator_fix)
+    print("\nreconciliation:", result.violations_found, "violation(s),",
+          result.resolved_by_handler, "resolved by the operator")
+    for node in ("admin-site", "field-site", "hq"):
+        print(f"  {node}: component =",
+              cluster.entity_on(node, report).get_affected_component())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Distributed telecommunication management system (DTMS) — §1.4.
+
+Voice-communication hardware is represented by objects bound to their
+site; configuring a channel between two sites requires the endpoints'
+parameters to stay mutually consistent — a constraint spanning objects of
+multiple sites.  This example shows a non-tradeable constraint blocking
+even in degraded mode, static negotiation with freshness criteria, and a
+partition between the sites.
+
+Run:  python examples/telecom_management.py
+"""
+
+from repro import ClusterConfig, DedisysCluster
+from repro.apps.dtms import (
+    ChannelConfigConsistency,
+    ChannelEndpoint,
+    Site,
+    SiteOwnershipConstraint,
+    dtms_constraint_registrations,
+)
+from repro.core import ConsistencyThreatRejected, ConstraintViolated
+
+
+def main() -> None:
+    cluster = DedisysCluster(ClusterConfig(node_ids=("vienna", "innsbruck", "ops")))
+    cluster.deploy(Site)
+    cluster.deploy(ChannelEndpoint)
+    cluster.register_constraints(dtms_constraint_registrations())
+
+    vienna = cluster.create_entity("vienna", "Site", "site-vie", {"name": "Vienna"})
+    innsbruck = cluster.create_entity(
+        "innsbruck", "Site", "site-inn", {"name": "Innsbruck"}
+    )
+    end_vie = cluster.create_entity(
+        "vienna", "ChannelEndpoint", "ch1-vie", {"channel_id": "ch1", "site": vienna}
+    )
+    end_inn = cluster.create_entity(
+        "innsbruck", "ChannelEndpoint", "ch1-inn", {"channel_id": "ch1", "site": innsbruck}
+    )
+    cluster.invoke("vienna", end_vie, "set_peer", end_inn)
+    cluster.invoke("innsbruck", end_inn, "set_peer", end_vie)
+
+    # Configure both ends consistently and bring the channel up.
+    cluster.invoke("vienna", end_vie, "configure", 118000, "g711")
+    cluster.invoke("innsbruck", end_inn, "configure", 118000, "g711")
+    cluster.invoke("vienna", end_vie, "enable")
+    cluster.invoke("innsbruck", end_inn, "enable")
+    print("channel up:", cluster.entity_on("ops", end_vie).get_enabled())
+
+    # Healthy mode: a one-sided reconfiguration is rejected outright.
+    try:
+        cluster.invoke("vienna", end_vie, "configure", 121500, "g711")
+    except ConstraintViolated as error:
+        print("healthy: rejected ->", error)
+
+    # The site-ownership constraint is NON-tradeable: even in degraded
+    # mode it must never be violated.
+    cluster.partition({"vienna"}, {"innsbruck", "ops"})
+    print("\ndegraded:", cluster.is_degraded())
+    try:
+        cluster.invoke("vienna", end_vie, "set_site", None)
+    except (ConstraintViolated, ConsistencyThreatRejected) as error:
+        print("degraded: non-tradeable constraint still enforced ->", error)
+
+    # A one-sided reconfiguration during the partition would make the
+    # constraint 'possibly violated' on stale data — the static
+    # negotiation (min degree POSSIBLY_SATISFIED) rejects it.
+    try:
+        cluster.invoke("vienna", end_vie, "configure", 121500, "g711")
+    except ConsistencyThreatRejected as error:
+        print("degraded: risky reconfiguration rejected ->", error)
+
+    # Re-applying matching parameters is only 'possibly satisfied' and is
+    # accepted — progress remains possible where it is safe.
+    cluster.invoke("vienna", end_vie, "configure", 118000, "g711")
+    print("degraded: safe reconfiguration accepted; threats stored:",
+          cluster.threat_stores["vienna"].count_identities())
+
+    cluster.heal()
+    report = cluster.reconcile()
+    print("\nafter reconciliation: threats left:",
+          cluster.threat_stores["vienna"].count_identities(),
+          f"(re-evaluated {report.threats_reevaluated}, satisfied {report.satisfied_removed})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""Administration, deployment and runtime configuration (Fig. 4.1, §4.1).
+
+The architecture distinguishes two user categories: **administrators**,
+responsible for proper administration, deployment and runtime
+configuration of middleware and application, and **general users**, who
+perform business operations and need no in-depth knowledge of either.
+This service is the administrators' entry point: it gates the
+runtime-management operations (constraint registration, enable/disable,
+node weights, threat inspection) behind an authorization check so general
+users cannot reconfigure the middleware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .cluster import DedisysCluster
+from .core import ConsistencyThreat
+from .core.metadata import ConstraintRegistration
+from .net import NodeId
+
+
+class AuthorizationError(PermissionError):
+    """The principal is not allowed to perform administration tasks."""
+
+    def __init__(self, principal: str, action: str) -> None:
+        super().__init__(f"{principal!r} is not authorized to {action}")
+        self.principal = principal
+        self.action = action
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One administrative action, for the audit trail."""
+
+    principal: str
+    action: str
+    detail: str
+    timestamp: float
+
+
+@dataclass
+class AdministrationService:
+    """Administrative facade over a running cluster."""
+
+    cluster: DedisysCluster
+    administrators: set[str] = field(default_factory=set)
+    audit_log: list[AuditRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # authorization
+    # ------------------------------------------------------------------
+    def grant(self, principal: str) -> None:
+        """Make ``principal`` an administrator (bootstrap operation)."""
+        self.administrators.add(principal)
+
+    def _authorize(self, principal: str, action: str, detail: str = "") -> None:
+        if principal not in self.administrators:
+            raise AuthorizationError(principal, action)
+        self.audit_log.append(
+            AuditRecord(principal, action, detail, self.cluster.clock.now)
+        )
+
+    # ------------------------------------------------------------------
+    # constraint management (runtime configurability, §2.1.4)
+    # ------------------------------------------------------------------
+    def register_constraint(
+        self, principal: str, registration: ConstraintRegistration
+    ) -> None:
+        self._authorize(principal, "register constraint", registration.name)
+        self.cluster.register_constraint(registration)
+
+    def remove_constraint(self, principal: str, name: str) -> None:
+        self._authorize(principal, "remove constraint", name)
+        self.cluster.repository.remove(name)
+
+    def enable_constraint(self, principal: str, name: str) -> None:
+        self._authorize(principal, "enable constraint", name)
+        self.cluster.repository.enable(name)
+
+    def disable_constraint(self, principal: str, name: str) -> None:
+        """Disable a constraint at runtime — e.g. to relax consistency so
+        the system can reach the healthy state again (§3.3)."""
+        self._authorize(principal, "disable constraint", name)
+        self.cluster.repository.disable(name)
+
+    def list_constraints(self, principal: str) -> list[dict[str, Any]]:
+        self._authorize(principal, "list constraints")
+        return [
+            {
+                "name": registration.name,
+                "type": registration.constraint.constraint_type.value,
+                "tradeable": registration.constraint.is_tradeable(),
+                "enabled": registration.constraint.enabled,
+                "context_class": registration.constraint.context_class,
+            }
+            for registration in self.cluster.repository.all_registrations()
+        ]
+
+    # ------------------------------------------------------------------
+    # weights and modes (§5.5.2, Fig. 1.4)
+    # ------------------------------------------------------------------
+    def set_node_weight(self, principal: str, node: NodeId, weight: float) -> None:
+        self._authorize(principal, "set node weight", f"{node}={weight}")
+        self.cluster.gms.set_weight(node, weight)
+
+    def system_modes(self, principal: str) -> dict[NodeId, str]:
+        self._authorize(principal, "inspect system modes")
+        return {
+            node: self.cluster.mode_of(node).value for node in self.cluster.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # threat inspection
+    # ------------------------------------------------------------------
+    def pending_threats(self, principal: str) -> dict[NodeId, list[ConsistencyThreat]]:
+        self._authorize(principal, "inspect threats")
+        return {
+            node: store.pending() for node, store in self.cluster.threat_stores.items()
+        }
+
+    def audit_trail(self, principal: str) -> list[AuditRecord]:
+        self._authorize(principal, "read audit trail")
+        return list(self.audit_log)
+
+    def drive_reconciliation(
+        self,
+        principal: str,
+        replica_handler: Any = None,
+        constraint_handler: Any = None,
+    ) -> Any:
+        """Manually trigger the reconciliation phase (operator action)."""
+        self._authorize(principal, "drive reconciliation")
+        return self.cluster.reconcile(replica_handler, constraint_handler)

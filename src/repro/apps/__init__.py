@@ -1,0 +1,6 @@
+"""Application scenarios from the dissertation: flight booking, alarm
+tracking (ATS), and telecom management (DTMS)."""
+
+from . import ats, dtms, flightbooking, projectmgmt
+
+__all__ = ["ats", "dtms", "flightbooking", "projectmgmt"]

@@ -1,0 +1,155 @@
+"""Alarm tracking system (ATS) application (§1.4, Fig. 1.5).
+
+Alarms are managed by administrative operators; repair reports are filled
+out by technical operators working at different locations, potentially
+accessing different servers.  The ``ComponentKindReferenceConsistency``
+constraint couples an Alarm's ``alarm_kind`` to the kinds of components a
+RepairReport may name — e.g. an alarm of kind "Signal" can only be removed
+by repairing a "Signal Controller" or a "Signal Cable".
+
+When a network split separates the two operators' servers, the system stays
+available to both: the constraint produces consistency threats instead of
+blocking, and it is reasonable here to accept even *possibly violated*
+results, because the technical operator knows the repaired component
+exactly while only the administrative operator (in the other partition) may
+change the alarm kind (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core import (
+    Constraint,
+    ConstraintPriority,
+    ConstraintScope,
+    ConstraintType,
+    ConstraintValidationContext,
+    SatisfactionDegree,
+)
+from ..core.metadata import (
+    AffectedMethod,
+    CalledObjectIsContextObject,
+    ConstraintRegistration,
+    ReferenceIsContextObject,
+)
+from ..objects import Entity, ObjectRef
+
+#: Which component kinds may repair which alarm kind (Fig. 1.5's example).
+ALLOWED_COMPONENTS: Mapping[str, frozenset[str]] = {
+    "Signal": frozenset({"Signal Controller", "Signal Cable"}),
+    "Power": frozenset({"Power Supply", "Power Cable", "Fuse"}),
+    "Radio": frozenset({"Transceiver", "Antenna"}),
+}
+
+
+class Alarm(Entity):
+    """An alarm managed by administrative operators."""
+
+    fields = {
+        "alarm_kind": "",
+        "description": "",
+        "repair_report": None,  # ObjectRef to the RepairReport
+        "open": True,
+    }
+
+    def assign_report(self, report_ref: ObjectRef) -> None:
+        self._set("repair_report", report_ref)
+
+    def close(self) -> None:
+        self._set("open", False)
+
+
+class RepairReport(Entity):
+    """A repair report filled out by technical operators."""
+
+    fields = {
+        "component_kind": "",
+        "affected_component": "",
+        "alarm": None,  # back-reference to the Alarm
+        "completed": False,
+    }
+
+    def complete(self) -> None:
+        self._set("completed", True)
+
+
+class ComponentKindReferenceConsistency(Constraint):
+    """An alarm's kind must match its repair report's component kind."""
+
+    name = "ComponentKindReferenceConsistency"
+    constraint_type = ConstraintType.INVARIANT_HARD
+    priority = ConstraintPriority.RELAXABLE
+    scope = ConstraintScope.INTER_OBJECT
+    context_class = "RepairReport"
+    # Accept any threat, including possibly violated and uncheckable: the
+    # operators' division of labour bounds the damage (§3.1, Listing 4.1).
+    min_satisfaction_degree = SatisfactionDegree.UNCHECKABLE
+    description = "repair component kind admissible for the alarm kind"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        report = ctx.get_context_object()
+        alarm = report.resolve(report.get_alarm())
+        if alarm is None:
+            return True  # an unassigned report constrains nothing
+        kind = alarm.get_alarm_kind()
+        if not kind:
+            return True
+        allowed = ALLOWED_COMPONENTS.get(kind, frozenset())
+        component = report.get_affected_component()
+        if not component:
+            return True  # report not yet filled out
+        return component in allowed
+
+
+ATS_AFFECTED_METHODS = (
+    AffectedMethod(
+        "RepairReport", "set_affected_component", CalledObjectIsContextObject()
+    ),
+    AffectedMethod(
+        "RepairReport", "set_component_kind", CalledObjectIsContextObject()
+    ),
+    AffectedMethod(
+        "Alarm", "set_alarm_kind", ReferenceIsContextObject("get_repair_report")
+    ),
+)
+
+
+def ats_constraint_registration() -> ConstraintRegistration:
+    """Registration matching the Listing 4.1 configuration."""
+    return ConstraintRegistration(
+        ComponentKindReferenceConsistency(), ATS_AFFECTED_METHODS
+    )
+
+
+#: The Listing-4.1 configuration, expressed in the XML format the
+#: middleware reads at deployment time; used by examples and tests.
+ATS_XML_CONFIGURATION = """
+<constraints>
+  <constraint name="ComponentKindReferenceConsistency"
+              type="HARD" priority="RELAXABLE" contextObject="Y"
+              minSatisfactionDegree="UNCHECKABLE">
+    <class>ComponentKindReferenceConsistency</class>
+    <context-class>RepairReport</context-class>
+    <affected-methods>
+      <affected-method>
+        <context-preparation>
+          <preparation-class>CalledObjectIsContextObject</preparation-class>
+        </context-preparation>
+        <objectMethod name="set_affected_component">
+          <objectClass>RepairReport</objectClass>
+        </objectMethod>
+      </affected-method>
+      <affected-method>
+        <context-preparation>
+          <preparation-class>ReferenceIsContextObject</preparation-class>
+          <params><param name="getter" value="get_repair_report"/></params>
+        </context-preparation>
+        <objectMethod name="set_alarm_kind">
+          <objectClass>Alarm</objectClass>
+        </objectMethod>
+      </affected-method>
+    </affected-methods>
+  </constraint>
+</constraints>
+"""

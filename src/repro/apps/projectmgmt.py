@@ -1,0 +1,197 @@
+"""Project/employee management on the middleware (§2.3's domain).
+
+Chapter 2 studies this domain with plain objects; here the same business
+rules run as *distributed* entities under the constraint-consistency
+middleware, demonstrating intra-object, inter-object intra-class, and
+inter-object inter-class constraints (§3.1's classification) on one model:
+
+* ``WorkloadLimit`` — intra-object: an employee's logged hours stay within
+  the personal limit;
+* ``ProjectBudget`` — intra-object: project cost within budget;
+* ``AssignmentConsistency`` — inter-class: work may only be logged against
+  projects the employee is assigned to;
+* ``StaffingLevel`` — inter-class: an active project needs at least one
+  assigned employee.
+
+Assignments are modelled from the project side (reference lists of
+employee refs), so a partition between the "HR" node (employee primaries)
+and the "PMO" node (project primaries) creates exactly the cross-node
+constraint situations Chapter 3 discusses.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    Constraint,
+    ConstraintPriority,
+    ConstraintScope,
+    ConstraintType,
+    ConstraintValidationContext,
+    SatisfactionDegree,
+)
+from ..core.metadata import (
+    AffectedMethod,
+    ConstraintRegistration,
+    ReferenceIsContextObject,
+)
+from ..objects import Entity, ObjectRef
+
+
+class StaffMember(Entity):
+    """An employee entity (the distributed twin of workload.Employee)."""
+
+    fields = {
+        "name": "",
+        "weekly_limit": 40.0,
+        "hours_logged": 0.0,
+        "active_project": None,  # ObjectRef to the current ProjectRecord
+    }
+
+    def log_hours(self, hours: float) -> float:
+        if hours <= 0:
+            raise ValueError("hours must be positive")
+        self._set("hours_logged", self._get("hours_logged") + hours)
+        return self._get("hours_logged")
+
+    def start_week(self) -> None:
+        self._set("hours_logged", 0.0)
+
+
+class ProjectRecord(Entity):
+    """A project entity with budget and staffing."""
+
+    fields = {
+        "title": "",
+        "budget": 100000.0,
+        "cost": 0.0,
+        "active": False,
+        "staff": (),  # tuple of ObjectRefs to StaffMember entities
+    }
+
+    def charge(self, amount: float) -> float:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self._set("cost", self._get("cost") + amount)
+        return self._get("cost")
+
+    def assign(self, member_ref: ObjectRef) -> int:
+        staff = tuple(self._get("staff")) + (member_ref,)
+        self._set("staff", staff)
+        return len(staff)
+
+    def unassign(self, member_ref: ObjectRef) -> int:
+        staff = tuple(ref for ref in self._get("staff") if ref != member_ref)
+        self._set("staff", staff)
+        return len(staff)
+
+    def activate(self) -> None:
+        self._set("active", True)
+
+    def close(self) -> None:
+        self._set("active", False)
+
+
+class WorkloadLimit(Constraint):
+    """Intra-object: hours_logged <= weekly_limit."""
+
+    name = "WorkloadLimit"
+    constraint_type = ConstraintType.INVARIANT_HARD
+    priority = ConstraintPriority.CRITICAL
+    scope = ConstraintScope.INTRA_OBJECT
+    context_class = "StaffMember"
+    description = "logged hours within the personal weekly limit"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        member = ctx.get_context_object()
+        return member.get_hours_logged() <= member.get_weekly_limit()
+
+
+class ProjectBudget(Constraint):
+    """Intra-object: cost <= budget (tradeable during partitions)."""
+
+    name = "ProjectBudget"
+    constraint_type = ConstraintType.INVARIANT_HARD
+    priority = ConstraintPriority.RELAXABLE
+    scope = ConstraintScope.INTRA_OBJECT
+    context_class = "ProjectRecord"
+    min_satisfaction_degree = SatisfactionDegree.POSSIBLY_SATISFIED
+    description = "project cost within budget"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        project = ctx.get_context_object()
+        return project.get_cost() <= project.get_budget()
+
+
+class AssignmentConsistency(Constraint):
+    """Inter-class: a member's active project must list them as staff."""
+
+    name = "AssignmentConsistency"
+    constraint_type = ConstraintType.INVARIANT_HARD
+    priority = ConstraintPriority.RELAXABLE
+    scope = ConstraintScope.INTER_OBJECT
+    context_class = "StaffMember"
+    min_satisfaction_degree = SatisfactionDegree.POSSIBLY_SATISFIED
+    description = "active project lists the member as staff"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        member = ctx.get_context_object()
+        project = member.resolve(member.get_active_project())
+        if project is None:
+            return True
+        return member.ref in tuple(project.get_staff())
+
+
+class StaffingLevel(Constraint):
+    """Inter-class: an active project needs at least one staff member."""
+
+    name = "StaffingLevel"
+    constraint_type = ConstraintType.INVARIANT_HARD
+    priority = ConstraintPriority.RELAXABLE
+    scope = ConstraintScope.INTER_OBJECT
+    context_class = "ProjectRecord"
+    min_satisfaction_degree = SatisfactionDegree.POSSIBLY_SATISFIED
+    description = "active projects are staffed"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        project = ctx.get_context_object()
+        if not project.get_active():
+            return True
+        return len(tuple(project.get_staff())) >= 1
+
+
+def projectmgmt_constraint_registrations() -> list[ConstraintRegistration]:
+    return [
+        ConstraintRegistration(
+            WorkloadLimit(),
+            (
+                AffectedMethod("StaffMember", "log_hours"),
+                AffectedMethod("StaffMember", "set_weekly_limit"),
+            ),
+        ),
+        ConstraintRegistration(
+            ProjectBudget(),
+            (
+                AffectedMethod("ProjectRecord", "charge"),
+                AffectedMethod("ProjectRecord", "set_budget"),
+            ),
+        ),
+        ConstraintRegistration(
+            AssignmentConsistency(),
+            (
+                AffectedMethod("StaffMember", "set_active_project"),
+                AffectedMethod("StaffMember", "log_hours"),
+                # unassigning from the project side must re-check the
+                # member the project no longer lists — context reached by
+                # resolving the argument on the CCMgr side is not
+                # possible generically, so the project-side methods check
+                # the staffing constraint instead (below).
+            ),
+        ),
+        ConstraintRegistration(
+            StaffingLevel(),
+            (
+                AffectedMethod("ProjectRecord", "activate"),
+                AffectedMethod("ProjectRecord", "unassign"),
+            ),
+        ),
+    ]

@@ -1,0 +1,434 @@
+"""DeDiSys cluster facade.
+
+Wires the full middleware stack of Fig. 4.1 together: simulated network,
+group membership and communication, transactions, per-node containers with
+client/server interceptor chains, the constraint consistency service, the
+replication service, and the reconciliation manager.  This is the main
+entry point of the library:
+
+    >>> cluster = DedisysCluster(ClusterConfig(node_ids=("a", "b", "c")))
+    >>> cluster.deploy(Flight)
+    >>> ref = cluster.create_entity("a", "Flight", "LH1", {"seats": 80})
+    >>> cluster.invoke("a", ref, "set_sold", 70)
+    >>> cluster.network.partition({"a"}, {"b", "c"})   # degraded mode
+    ...
+    >>> cluster.network.heal_all()
+    >>> report = cluster.reconcile()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .core import (
+    CCMConfig,
+    CCMInterceptor,
+    CachingConstraintRepository,
+    ConstraintConsistencyManager,
+    ConstraintRegistration,
+    ConstraintRepository,
+    Negotiator,
+    NullStalenessProvider,
+    ReconciliationManager,
+    ReconciliationReport,
+    SatisfactionDegree,
+    ThreatStoragePolicy,
+    ThreatStore,
+    parse_xml_configuration,
+    register_negotiation_handler,
+)
+from .core.system_mode import SystemMode, SystemModeTracker
+from .membership import GroupMembershipService
+from .net import GroupChannel, Message, NodeId, SimNetwork
+from .objects import (
+    ContainerInvoker,
+    CostInterceptor,
+    Entity,
+    InterceptorChain,
+    LocationService,
+    NamingService,
+    Node,
+    ObjectRef,
+)
+from .replication import (
+    AdaptiveVotingProtocol,
+    PersistenceInterceptor,
+    PrimaryPartitionProtocol,
+    PrimaryPerPartitionProtocol,
+    ReplicationManager,
+    ReplicationProtocol,
+    ReplicationServerInterceptor,
+    TransportInterceptor,
+)
+from .sim import CostLedger, CostModel, Scheduler, SimClock
+from .tx import TransactionManager
+
+
+def _build_protocol(spec: str | ReplicationProtocol, total_nodes: int) -> ReplicationProtocol:
+    if isinstance(spec, ReplicationProtocol):
+        return spec
+    name = spec.lower()
+    if name in ("p4", "primary-per-partition"):
+        return PrimaryPerPartitionProtocol()
+    if name in ("primary-partition", "pp"):
+        return PrimaryPartitionProtocol(total_nodes)
+    if name in ("adaptive-voting", "voting"):
+        return AdaptiveVotingProtocol()
+    raise ValueError(f"unknown replication protocol {spec!r}")
+
+
+@dataclass
+class ClusterConfig:
+    """Static configuration of a simulated cluster."""
+
+    node_ids: Sequence[NodeId] = ("node-1", "node-2", "node-3")
+    costs: CostModel = field(default_factory=CostModel)
+    # Explicit constraint consistency management (the DeDiSys service).
+    enable_ccm: bool = True
+    # Replication support (P4 by default).
+    enable_replication: bool = True
+    protocol: str | ReplicationProtocol = "p4"
+    threat_policy: ThreatStoragePolicy = ThreatStoragePolicy.IDENTICAL_ONCE
+    # Use the optimized (caching) constraint repository by default.
+    caching_repository: bool = True
+    default_min_degree: SatisfactionDegree = SatisfactionDegree.SATISFIED
+    node_weights: Mapping[NodeId, float] | None = None
+    replicate_threats: bool = True
+    seed: int = 0
+
+
+class DedisysCluster:
+    """A simulated DeDiSys deployment."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.clock = SimClock()
+        self.scheduler = Scheduler(self.clock)
+        self.ledger = CostLedger()
+        self.network = SimNetwork(
+            self.config.node_ids,
+            scheduler=self.scheduler,
+            costs=self.config.costs,
+            seed=self.config.seed,
+        )
+        self.network.ledger = self.ledger
+        self.gms = GroupMembershipService(self.network, self.config.node_weights)
+        self.mode_tracker = SystemModeTracker(self.gms, self.clock)
+        self.channel = GroupChannel(self.network)
+        self.txmgr = TransactionManager()
+        self.naming = NamingService()
+        self.location = LocationService()
+
+        self.nodes: dict[NodeId, Node] = {}
+        for node_id in self.config.node_ids:
+            node = Node(node_id, self.clock, self.config.costs, self.ledger, self.txmgr)
+            self.nodes[node_id] = node
+
+        repository_cls = (
+            CachingConstraintRepository if self.config.caching_repository else ConstraintRepository
+        )
+        # One application-wide repository (constraint names are unique per
+        # application, §5.3); threat stores are per node and replicated.
+        charge = next(iter(self.nodes.values())).persistence.charge
+        self.repository: ConstraintRepository = repository_cls(charge=charge)
+
+        self.replication: ReplicationManager | None = None
+        if self.config.enable_replication:
+            protocol = _build_protocol(self.config.protocol, len(self.config.node_ids))
+            self.replication = ReplicationManager(
+                self.nodes,
+                self.network,
+                self.gms,
+                self.channel,
+                protocol,
+                join_channel=False,
+            )
+
+        self.threat_stores: dict[NodeId, ThreatStore] = {}
+        self.ccmgrs: dict[NodeId, ConstraintConsistencyManager] = {}
+        staleness = self.replication if self.replication is not None else NullStalenessProvider()
+        for node_id, node in self.nodes.items():
+            store = ThreatStore(node.persistence, self.config.threat_policy)
+            self.threat_stores[node_id] = store
+            if self.config.enable_ccm:
+                ccmgr = ConstraintConsistencyManager(
+                    node,
+                    self.repository,
+                    store,
+                    negotiator=Negotiator(self.config.default_min_degree),
+                    staleness=staleness,
+                    config=CCMConfig(replicate_threats=self.config.replicate_threats),
+                )
+                ccmgr.gms = self.gms
+                ccmgr.threat_replicator = self._make_threat_replicator(node_id)
+                self.ccmgrs[node_id] = ccmgr
+
+        self._wire_chains()
+        self._wire_messaging()
+
+        self.reconciliation = ReconciliationManager(
+            self.nodes,
+            self.network,
+            self.channel,
+            self.repository,
+            self.threat_stores,
+            self.ccmgrs if self.ccmgrs else self._fallback_ccmgrs(),
+            replication=self.replication,
+        )
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def _wire_chains(self) -> None:
+        for node_id, node in self.nodes.items():
+            client: list[Any] = [
+                CostInterceptor(node, hops=2),  # proxy + client chain
+                TransportInterceptor(node, self.network, self.location, self.replication),
+            ]
+            server: list[Any] = [CostInterceptor(node, hops=2)]
+            if self.replication is not None:
+                server.append(ReplicationServerInterceptor(node, self.replication))
+            if node_id in self.ccmgrs:
+                server.append(CCMInterceptor(node, self.ccmgrs[node_id]))
+            server.append(PersistenceInterceptor(node))
+            server.append(ContainerInvoker(node))
+            node.invocation_service.client_chain = InterceptorChain(client)
+            node.invocation_service.server_chain = InterceptorChain(server)
+
+    def _wire_messaging(self) -> None:
+        for node_id, node in self.nodes.items():
+            self.network.register_handler(node_id, self._make_node_handler(node_id))
+            self.channel.join(node_id, self._make_member_handler(node_id))
+
+    def _make_node_handler(self, node_id: NodeId) -> Callable[[Message], Any]:
+        def handle(message: Message) -> Any:
+            if message.kind == "invocation":
+                return self.nodes[node_id].invocation_service.run_server_chain(
+                    message.payload
+                )
+            raise ValueError(f"unexpected message kind {message.kind!r}")
+
+        return handle
+
+    def _make_member_handler(self, node_id: NodeId) -> Callable[[Message], Any]:
+        replica_handler = (
+            self.replication.make_member_handler(node_id)
+            if self.replication is not None
+            else None
+        )
+
+        def handle(message: Message) -> Any:
+            if message.kind.startswith("replica-") and replica_handler is not None:
+                return replica_handler(message)
+            if message.kind == "threat-replicate":
+                self.threat_stores[node_id].apply_remote(message.payload)
+                return "ack"
+            if message.kind == "threat-propagate":
+                return "ack"
+            return "ignored"
+
+        return handle
+
+    def _make_threat_replicator(self, node_id: NodeId) -> Callable[[Any], None]:
+        def replicate(threat: Any) -> None:
+            self.channel.multicast(node_id, "threat-replicate", threat)
+
+        return replicate
+
+    def _fallback_ccmgrs(self) -> dict[NodeId, ConstraintConsistencyManager]:
+        """Minimal CCMgrs for reconciliation when CCM is disabled."""
+        managers = {}
+        staleness = self.replication if self.replication is not None else NullStalenessProvider()
+        for node_id, node in self.nodes.items():
+            ccmgr = ConstraintConsistencyManager(
+                node, self.repository, self.threat_stores[node_id], staleness=staleness
+            )
+            ccmgr.gms = self.gms
+            managers[node_id] = ccmgr
+        return managers
+
+    # ------------------------------------------------------------------
+    # application deployment
+    # ------------------------------------------------------------------
+    def deploy(self, entity_cls: type[Entity], replicated: bool | None = None) -> None:
+        """Deploy an entity class on every node.
+
+        ``replicated`` defaults to whether replication is enabled.
+        """
+        for node in self.nodes.values():
+            node.container.deploy(entity_cls)
+        should_replicate = (
+            replicated if replicated is not None else self.replication is not None
+        )
+        if should_replicate and self.replication is not None:
+            self.replication.replicate_class(entity_cls.class_name())
+
+    def register_constraint(self, registration: ConstraintRegistration) -> None:
+        self.repository.register(registration)
+
+    def register_constraints(self, registrations: Iterable[ConstraintRegistration]) -> None:
+        for registration in registrations:
+            self.repository.register(registration)
+
+    def load_constraint_configuration(
+        self, xml_text: str, constraint_classes: Mapping[str, type]
+    ) -> list[ConstraintRegistration]:
+        """Read a Listing-4.1-style configuration file at deployment."""
+        registrations = parse_xml_configuration(xml_text, constraint_classes)
+        self.register_constraints(registrations)
+        return registrations
+
+    # ------------------------------------------------------------------
+    # business API
+    # ------------------------------------------------------------------
+    def create_entity(
+        self,
+        node_id: NodeId,
+        class_name: str,
+        oid: str,
+        attributes: dict[str, Any] | None = None,
+        bind_name: str | None = None,
+    ) -> ObjectRef:
+        """Create an entity with ``node_id`` as home/designated primary."""
+        self._require_alive(node_id)
+        node = self.nodes[node_id]
+
+        def body(tx: Any) -> ObjectRef:
+            node.persistence.charge("invocation_base")
+            if node_id in self.ccmgrs:
+                # constructor-invariant lookup by the CCM service
+                node.persistence.charge("ccm_notification")
+            entity = node.container.create(class_name, oid, attributes)
+            self.location.register(entity.ref, node_id)
+            if self.replication is not None and self.replication.is_replicated_class(
+                class_name
+            ):
+                self.replication.register_created(entity.ref, node_id, entity.state())
+            return entity.ref
+
+        ref = self.txmgr.run(body)
+        if bind_name:
+            self.naming.bind(bind_name, ref)
+        return ref
+
+    def delete_entity(self, node_id: NodeId, ref: ObjectRef) -> None:
+        self._require_alive(node_id)
+        node = self.nodes[node_id]
+
+        def body(tx: Any) -> None:
+            node.persistence.charge("invocation_base")
+            if node_id in self.ccmgrs:
+                node.persistence.charge("ccm_notification")
+            if self.replication is not None and self.replication.is_replicated(ref):
+                primary = self.replication.route_write(ref, node_id)
+                self.nodes[primary].container.remove(ref)
+                self.replication.register_deleted(ref, primary)
+            else:
+                home = self.location.home_of(ref)
+                self.nodes[home].container.remove(ref)
+            self.location.unregister(ref)
+
+        self.txmgr.run(body)
+
+    def invoke(
+        self,
+        node_id: NodeId,
+        ref: ObjectRef,
+        method_name: str,
+        *args: Any,
+        negotiation_handler: Any = None,
+    ) -> Any:
+        """Run one business invocation in its own transaction."""
+        self._require_alive(node_id)
+        node = self.nodes[node_id]
+
+        def body(tx: Any) -> Any:
+            if negotiation_handler is not None:
+                register_negotiation_handler(tx, negotiation_handler)
+            return node.invocation_service.invoke(ref, method_name, tuple(args))
+
+        return self.txmgr.run(body)
+
+    def run_in_tx(
+        self,
+        node_id: NodeId,
+        body: Callable[[Any], Any],
+        negotiation_handler: Any = None,
+    ) -> Any:
+        """Run a multi-invocation business transaction on ``node_id``.
+
+        The body receives a proxy offering ``invoke(ref, method, *args)``.
+        """
+        self._require_alive(node_id)
+        node = self.nodes[node_id]
+
+        def wrapped(tx: Any) -> Any:
+            if negotiation_handler is not None:
+                register_negotiation_handler(tx, negotiation_handler)
+            return body(_TxProxy(node, tx))
+
+        return self.txmgr.run(wrapped)
+
+    def entity_on(self, node_id: NodeId, ref: ObjectRef) -> Entity:
+        """Direct access to a node's local replica (test introspection)."""
+        return self.nodes[node_id].container.resolve(ref)
+
+    def _require_alive(self, node_id: NodeId) -> None:
+        from .net import NodeCrashedError
+
+        if self.network.is_crashed(node_id):
+            raise NodeCrashedError(node_id)
+
+    # ------------------------------------------------------------------
+    # failure control and reconciliation
+    # ------------------------------------------------------------------
+    def partition(self, *groups: Iterable[NodeId]) -> None:
+        self.network.partition(*groups)
+
+    def heal(self) -> None:
+        self.network.heal_all()
+
+    def reconcile(
+        self,
+        replica_handler: Any = None,
+        constraint_handler: Any = None,
+    ) -> ReconciliationReport:
+        partition = self.network.partitions()[0] if self.network.partitions() else frozenset()
+        self.mode_tracker.begin_reconciliation(partition)
+        report = self.reconciliation.reconcile(replica_handler, constraint_handler)
+        clean = report.postponed == 0 and report.deferred == 0
+        self.mode_tracker.finish_reconciliation(report.merged_partition or partition, clean)
+        return report
+
+    def is_degraded(self) -> bool:
+        return not self.network.is_healthy()
+
+    def mode_of(self, node_id: NodeId) -> SystemMode:
+        """The node's perceived Fig. 1.4 system state."""
+        return self.mode_tracker.mode_of(node_id)
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    def throughput(self, operation: Callable[[int], Any], count: int) -> float:
+        """Operations per simulated second for ``count`` runs of
+        ``operation(i)``."""
+        started = self.clock.now
+        for index in range(count):
+            operation(index)
+        elapsed = self.clock.now - started
+        if elapsed <= 0:
+            raise RuntimeError("operations consumed no simulated time")
+        return count / elapsed
+
+
+class _TxProxy:
+    """Invocation helper handed to ``run_in_tx`` bodies."""
+
+    def __init__(self, node: Node, tx: Any) -> None:
+        self.node = node
+        self.tx = tx
+
+    def invoke(self, ref: ObjectRef, method_name: str, *args: Any) -> Any:
+        return self.node.invocation_service.invoke(ref, method_name, tuple(args))

@@ -1,0 +1,34 @@
+"""Invocation-service interceptor notifying the CCMgr (§4.2.3, §4.2.4).
+
+One interceptor in the server chain is responsible for appropriately
+including the CCMgr in the processing of an invocation: it notifies the
+manager before and after the call so preconditions, postconditions and
+invariants are validated at their trigger points.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..objects import Interceptor, Invocation, Node
+from .ccmgr import ConstraintConsistencyManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..objects.invocation import Proceed
+
+
+class CCMInterceptor(Interceptor):
+    """Triggers constraint validation around each intercepted invocation."""
+
+    name = "constraint-consistency"
+
+    def __init__(self, node: Node, ccmgr: ConstraintConsistencyManager) -> None:
+        self.node = node
+        self.ccmgr = ccmgr
+
+    def intercept(self, invocation: Invocation, proceed: "Proceed") -> Any:
+        entity = self.node.container.resolve(invocation.ref)
+        self.ccmgr.before_invocation(invocation, entity)
+        result = proceed()
+        self.ccmgr.after_invocation(invocation, entity)
+        return result

@@ -1,0 +1,344 @@
+"""Reconciliation phase (§3.3, §4.4, Fig. 4.6).
+
+After node or link failures are repaired, the system re-establishes a
+consistent state in two steps:
+
+1. **Replica reconciliation** — the replication service propagates missed
+   updates between the reunified partitions and resolves write-write
+   conflicts via the application's replica consistency handler.  Threat
+   records, being replicated data themselves, are propagated too — which
+   is why the full-history threat policy makes this phase scale worse
+   (Fig. 5.6).
+2. **Constraint reconciliation** — the CCMgr re-evaluates accepted
+   consistency threats:
+
+   * *satisfied* → the threat and all identical threats are removed (the
+     application is notified if a replica conflict occurred and the threat
+     asked for notification);
+   * *violated* → rollback to a consistent historical state when the
+     threat's instructions allow it, otherwise a callback to the
+     application-provided constraint reconciliation handler (immediate
+     clean-up returns ``True``; deferred clean-up returns ``False`` and is
+     recorded persistently);
+   * *still threatened* → re-evaluation is postponed until further
+     partitions reunify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..net import GroupChannel, NodeId, SimNetwork
+from ..objects import Node, ObjectRef
+from .ccmgr import ConstraintConsistencyManager
+from .model import SatisfactionDegree
+from .repository import ConstraintRepository
+from .threats import ConsistencyThreat, ThreatIdentity, ThreatStore
+
+
+@dataclass
+class ConstraintViolationReport:
+    """Information handed to the constraint reconciliation handler.
+
+    ``context_entity`` is the reconciliation coordinator's live view of
+    the context object — handlers that clean up immediately should mutate
+    this entity (its state is broadcast to all replicas once the
+    constraint re-validates as satisfied).
+    """
+
+    threat: ConsistencyThreat
+    context_ref: ObjectRef | None
+    had_replica_conflict: bool
+    context_entity: Any = None
+
+
+# Returns True when the inconsistency is solved immediately, False for
+# deferred reconciliation under the application's responsibility (§4.4).
+ConstraintReconciliationHandler = Callable[[ConstraintViolationReport], bool]
+
+
+@dataclass
+class ReconciliationReport:
+    """Outcome and timing of one reconciliation run."""
+
+    merged_partition: frozenset[NodeId] = frozenset()
+    replica_conflicts: int = 0
+    threats_reevaluated: int = 0
+    satisfied_removed: int = 0
+    violations_found: int = 0
+    resolved_by_rollback: int = 0
+    resolved_by_handler: int = 0
+    deferred: int = 0
+    postponed: int = 0
+    updates_rolled_back: int = 0
+    conflict_notifications: int = 0
+    replica_phase_seconds: float = 0.0
+    constraint_phase_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.replica_phase_seconds + self.constraint_phase_seconds
+
+
+class ReconciliationManager:
+    """Drives the two reconciliation steps for one cluster."""
+
+    def __init__(
+        self,
+        nodes: Mapping[NodeId, Node],
+        network: SimNetwork,
+        channel: GroupChannel,
+        repository: ConstraintRepository,
+        threat_stores: Mapping[NodeId, ThreatStore],
+        ccmgrs: Mapping[NodeId, ConstraintConsistencyManager],
+        replication: Any = None,
+    ) -> None:
+        self.nodes = dict(nodes)
+        self.network = network
+        self.channel = channel
+        self.repository = repository
+        self.threat_stores = dict(threat_stores)
+        self.ccmgrs = dict(ccmgrs)
+        self.replication = replication
+        # Called when a satisfied threat had a replica conflict and asked
+        # for notification (§3.3).
+        self.on_conflict_notification: Callable[[ConsistencyThreat], None] | None = None
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def reconcile(
+        self,
+        replica_handler: Any = None,
+        constraint_handler: ConstraintReconciliationHandler | None = None,
+        max_handler_retries: int = 3,
+    ) -> ReconciliationReport:
+        """Run both reconciliation phases for the largest partition."""
+        report = ReconciliationReport()
+        partitions = self.network.partitions()
+        if not partitions:
+            return report
+        merged = partitions[0]
+        report.merged_partition = merged
+        clock = self.network.scheduler.clock
+
+        started = clock.now
+        if self.replication is not None:
+            conflicts = self.replication.reconcile_replicas(merged, replica_handler)
+            report.replica_conflicts = len(conflicts)
+        self._propagate_threats(merged)
+        report.replica_phase_seconds = clock.now - started
+
+        started = clock.now
+        self._reconcile_constraints(merged, constraint_handler, max_handler_retries, report)
+        report.constraint_phase_seconds = clock.now - started
+        if self.replication is not None and report.postponed == 0:
+            self.replication.clear_conflicts()
+        return report
+
+    # ------------------------------------------------------------------
+    # threat propagation (part of the replica phase)
+    # ------------------------------------------------------------------
+    def _propagate_threats(self, merged: frozenset[NodeId]) -> None:
+        """Union the threat stores of the reunified partition.
+
+        Every threat record missing on a node is multicast and persisted
+        there — the cost that makes full-history storage expensive to
+        reconcile.
+        """
+        members = sorted(merged)
+        if len(members) < 2:
+            return
+        all_threats: dict[int, tuple[NodeId, ConsistencyThreat]] = {}
+        for node_id in members:
+            store = self.threat_stores[node_id]
+            for identity in store.identities():
+                for threat in store.occurrences_of(identity):
+                    all_threats.setdefault(threat.threat_id, (node_id, threat))
+        from .threats import ThreatStoragePolicy
+
+        for threat_id, (origin, threat) in sorted(all_threats.items()):
+            for node_id in members:
+                store = self.threat_stores[node_id]
+                known = any(
+                    existing.threat_id == threat_id
+                    for existing in store.occurrences_of(threat.identity)
+                )
+                if known:
+                    continue
+                # Under the full-history policy every record is replicated
+                # data and must be propagated; identical-once nodes only
+                # need one record per identity (§5.2: replica
+                # reconciliation cannot benefit from identifying identical
+                # threats).
+                if (
+                    store.policy is ThreatStoragePolicy.FULL_HISTORY
+                    or threat.identity not in store
+                ):
+                    self.channel.multicast(origin, "threat-propagate", threat_id)
+                    store.apply_remote(threat)
+
+    # ------------------------------------------------------------------
+    # constraint phase
+    # ------------------------------------------------------------------
+    def _reconcile_constraints(
+        self,
+        merged: frozenset[NodeId],
+        handler: ConstraintReconciliationHandler | None,
+        max_handler_retries: int,
+        report: ReconciliationReport,
+    ) -> None:
+        coordinator = min(merged)
+        ccmgr = self.ccmgrs[coordinator]
+        store = self.threat_stores[coordinator]
+        for threat in list(store.pending()):
+            report.threats_reevaluated += 1
+            identity = threat.identity
+            if not self.repository.knows(threat.constraint_name):
+                # Constraint was removed at runtime; nothing to re-check.
+                self._remove_everywhere(identity, merged)
+                continue
+            registration = self.repository.by_name(threat.constraint_name)
+            context_entity = self._resolve_context(coordinator, threat.context_ref)
+            if threat.context_ref is not None and context_entity is None:
+                report.postponed += 1
+                continue
+            outcome = ccmgr.validate_registration(registration, context_entity)
+            if outcome.is_threat:
+                # At least one affected object is still unreachable or
+                # stale: postpone until further partitions reunify.
+                report.postponed += 1
+                continue
+            if outcome.degree is SatisfactionDegree.SATISFIED:
+                report.satisfied_removed += 1
+                had_conflict = self._had_conflict(threat)
+                if had_conflict and threat.instructions.notify_on_replica_conflict:
+                    report.conflict_notifications += 1
+                    if self.on_conflict_notification is not None:
+                        self.on_conflict_notification(threat)
+                self._remove_everywhere(identity, merged)
+                continue
+            # Violated.
+            report.violations_found += 1
+            if threat.instructions.allow_rollback and self._try_rollback(
+                coordinator, registration, threat, merged, report
+            ):
+                report.resolved_by_rollback += 1
+                self._remove_everywhere(identity, merged)
+                continue
+            if handler is None:
+                report.deferred += 1
+                store.mark_deferred(identity)
+                continue
+            violation = ConstraintViolationReport(
+                threat=threat,
+                context_ref=threat.context_ref,
+                had_replica_conflict=self._had_conflict(threat),
+                context_entity=context_entity,
+            )
+            solved_now = False
+            for _ in range(max_handler_retries):
+                if not handler(violation):
+                    # Deferred reconciliation under the application's
+                    # responsibility; recorded persistently (§4.4).
+                    report.deferred += 1
+                    store.mark_deferred(identity)
+                    solved_now = True  # nothing further to do now
+                    break
+                context_entity = self._resolve_context(coordinator, threat.context_ref)
+                outcome = ccmgr.validate_registration(registration, context_entity)
+                if outcome.degree is SatisfactionDegree.SATISFIED:
+                    report.resolved_by_handler += 1
+                    if context_entity is not None:
+                        # Make the application's clean-up visible on every
+                        # replica of the reunified partition.
+                        self._broadcast_state(
+                            coordinator, threat.context_ref, context_entity, merged
+                        )
+                    self._remove_everywhere(identity, merged)
+                    solved_now = True
+                    break
+            if not solved_now:
+                report.deferred += 1
+                store.mark_deferred(identity)
+
+    # ------------------------------------------------------------------
+    # rollback path (§3.3)
+    # ------------------------------------------------------------------
+    def _try_rollback(
+        self,
+        coordinator: NodeId,
+        registration: Any,
+        threat: ConsistencyThreat,
+        merged: frozenset[NodeId],
+        report: ReconciliationReport,
+    ) -> bool:
+        """Search the state history for a consistent state, newest first.
+
+        Rolling back retrospectively reduces availability — the number of
+        undone updates is reported.  Only the context object's history is
+        searched; the paper notes that exploring combinations across all
+        affected objects degenerates into a complex optimization problem
+        and recommends the roll-forward approach instead (§5.2).
+        """
+        if threat.context_ref is None:
+            return False
+        ref = threat.context_ref
+        node = self.nodes[coordinator]
+        if not node.container.has(ref):
+            return False
+        entity = node.container.resolve(ref)
+        candidates = []
+        for node_id in sorted(merged):
+            candidates.extend(self.nodes[node_id].state_history.versions_of(ref))
+        candidates.sort(key=lambda version: (-version.timestamp, -version.version))
+        current_state = entity.state()
+        current_version = entity.version
+        ccmgr = self.ccmgrs[coordinator]
+        for undone, candidate in enumerate(candidates, start=1):
+            entity.apply_state(candidate.state, version=candidate.version)
+            outcome = ccmgr.validate_registration(registration, entity)
+            if outcome.degree is SatisfactionDegree.SATISFIED:
+                report.updates_rolled_back += undone
+                self._broadcast_state(coordinator, ref, entity, merged)
+                return True
+        entity.apply_state(current_state, version=current_version)
+        return False
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _broadcast_state(
+        self, source: NodeId, ref: ObjectRef, entity: Any, merged: frozenset[NodeId]
+    ) -> None:
+        self.channel.multicast(
+            source,
+            "replica-update",
+            {"ref": ref, "state": entity.state(), "version": entity.version},
+        )
+        self.nodes[source].persistence.table("entities").put(
+            (ref.class_name, ref.oid), entity.state()
+        )
+
+    def _remove_everywhere(self, identity: ThreatIdentity, merged: frozenset[NodeId]) -> None:
+        for node_id in merged:
+            store = self.threat_stores[node_id]
+            if identity in store:
+                store.remove(identity)
+
+    def _resolve_context(self, node_id: NodeId, ref: ObjectRef | None) -> Any:
+        if ref is None:
+            return None
+        container = self.nodes[node_id].container
+        if not container.has(ref):
+            return None
+        return container.resolve(ref)
+
+    def _had_conflict(self, threat: ConsistencyThreat) -> bool:
+        if self.replication is None:
+            return False
+        refs = set(threat.affected_refs)
+        if threat.context_ref is not None:
+            refs.add(threat.context_ref)
+        return any(self.replication.had_replica_conflict(ref) for ref in refs)

@@ -1,0 +1,189 @@
+"""Constraint repository (§2.1.4, §4.2.2).
+
+All constraints of an application are registered here and can be queried by
+class, method signature, and constraint type.  Constraints can be added,
+removed, enabled and disabled during runtime — the flexibility that
+motivates explicit runtime constraints in the first place.
+
+Two lookup strategies reproduce the Chapter-2 finding that repository
+search dominates interception cost:
+
+* :class:`ConstraintRepository` — linear scan per query ("constraint
+  repository with search per invocation").
+* :class:`CachingConstraintRepository` — an optimized repository caching
+  query results in a hash table keyed by (class, method, constraint type);
+  a repeat query reduces to a single dict lookup (§2.2.1), measured at
+  0.25–0.52 µs in the paper and size-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .model import Constraint, ConstraintType
+from .metadata import AffectedMethod, ConstraintRegistration
+
+ChargeFn = Callable[[str], None]
+
+
+class ConstraintRepository:
+    """Linear-search repository of constraint registrations."""
+
+    def __init__(self, charge: ChargeFn | None = None) -> None:
+        self._registrations: list[ConstraintRegistration] = []
+        self._by_name: dict[str, ConstraintRegistration] = {}
+        self._charge = charge
+        self._listeners: list[Callable[[], None]] = []
+
+    def on_change(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired whenever the registration set or an
+        enable/disable state changes.
+
+        Adaptive instrumentation (§6.3) uses this to re-instrument
+        affected methods instead of searching the repository per call.
+        """
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # runtime management
+    # ------------------------------------------------------------------
+    def register(self, registration: ConstraintRegistration) -> None:
+        """Register a constraint; names must be application-unique (§5.3)."""
+        name = registration.name
+        if name in self._by_name:
+            raise KeyError(f"constraint {name!r} already registered")
+        self._registrations.append(registration)
+        self._by_name[name] = registration
+        self._invalidate()
+
+    def register_constraint(
+        self,
+        constraint: Constraint,
+        affected_methods: Iterable[AffectedMethod] = (),
+    ) -> ConstraintRegistration:
+        registration = ConstraintRegistration(constraint, tuple(affected_methods))
+        self.register(registration)
+        return registration
+
+    def remove(self, name: str) -> ConstraintRegistration:
+        if name not in self._by_name:
+            raise KeyError(f"constraint {name!r} not registered")
+        registration = self._by_name.pop(name)
+        self._registrations.remove(registration)
+        self._invalidate()
+        return registration
+
+    def enable(self, name: str) -> None:
+        self.by_name(name).constraint.enabled = True
+        self._invalidate()
+
+    def disable(self, name: str) -> None:
+        """Disable a constraint at runtime (e.g. to relax consistency,
+        §3.3)."""
+        self.by_name(name).constraint.enabled = False
+        self._invalidate()
+
+    def by_name(self, name: str) -> ConstraintRegistration:
+        if name not in self._by_name:
+            raise KeyError(f"constraint {name!r} not registered")
+        return self._by_name[name]
+
+    def knows(self, name: str) -> bool:
+        return name in self._by_name
+
+    def all_registrations(self) -> list[ConstraintRegistration]:
+        return list(self._registrations)
+
+    def __len__(self) -> int:
+        return len(self._registrations)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def affected_constraints(
+        self,
+        class_name: str,
+        method_name: str,
+        constraint_type: ConstraintType | None = None,
+    ) -> list[ConstraintRegistration]:
+        """Constraints triggered by an invocation of the given method."""
+        if self._charge is not None:
+            self._charge("repository_search")
+        return self._search(class_name, method_name, constraint_type)
+
+    def invariants(self) -> list[ConstraintRegistration]:
+        """All enabled invariant constraints (reconciliation uses these)."""
+        return [
+            registration
+            for registration in self._registrations
+            if registration.constraint.enabled
+            and registration.constraint.constraint_type.is_invariant
+        ]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        class_name: str,
+        method_name: str,
+        constraint_type: ConstraintType | None,
+    ) -> list[ConstraintRegistration]:
+        matches = []
+        for registration in self._registrations:
+            constraint = registration.constraint
+            if not constraint.enabled:
+                continue
+            if constraint_type is not None and constraint.constraint_type is not constraint_type:
+                continue
+            for affected in registration.affected_methods:
+                if affected.key == (class_name, method_name):
+                    matches.append(registration)
+                    break
+        return matches
+
+    def _invalidate(self) -> None:
+        """Hook for caching subclasses; notifies change listeners."""
+        for listener in self._listeners:
+            listener()
+
+
+class CachingConstraintRepository(ConstraintRepository):
+    """Optimized repository: query results cached in a hash table.
+
+    The cache key combines class, method, and constraint type (§2.2.1).
+    Registration changes invalidate the cache, so runtime add/remove/
+    enable/disable keep working correctly.
+    """
+
+    def __init__(self, charge: ChargeFn | None = None) -> None:
+        super().__init__(charge)
+        self._cache: dict[
+            tuple[str, str, ConstraintType | None], list[ConstraintRegistration]
+        ] = {}
+
+    def affected_constraints(
+        self,
+        class_name: str,
+        method_name: str,
+        constraint_type: ConstraintType | None = None,
+    ) -> list[ConstraintRegistration]:
+        key = (class_name, method_name, constraint_type)
+        cached = self._cache.get(key)
+        if cached is not None:
+            if self._charge is not None:
+                self._charge("repository_lookup_cached")
+            return list(cached)
+        if self._charge is not None:
+            self._charge("repository_search")
+        result = self._search(class_name, method_name, constraint_type)
+        self._cache[key] = result
+        return list(result)
+
+    def _invalidate(self) -> None:
+        self._cache.clear()
+        super()._invalidate()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

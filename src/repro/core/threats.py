@@ -1,0 +1,195 @@
+"""Consistency threats and their persistent management (§3.1, §3.2.2).
+
+A consistency threat arises whenever a constraint could only be checked in
+a limited way (LCC — possibly stale replicas involved) or not at all (NCC).
+Accepted threats are persisted by the middleware, together with optional
+application-specific data and reconciliation instructions, and re-evaluated
+in the reconciliation phase.
+
+Two storage policies reproduce §3.2.2/§5.5.1:
+
+* ``FULL_HISTORY`` — every occurrence is stored (needed when rollback/undo
+  to intermediate states must be possible).  §5.2: a threat initially
+  persists three database objects, each additional identical occurrence
+  two more.
+* ``IDENTICAL_ONCE`` — identical threats (same constraint and, if
+  applicable, same context object) are stored once; later occurrences only
+  perform a read to detect the existing record (§5.5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..objects import ObjectRef
+from ..persistence import PersistenceEngine
+from .model import SatisfactionDegree
+
+ThreatIdentity = tuple[str, ObjectRef | None]
+
+
+@dataclass
+class ReconciliationInstructions:
+    """Application-provided guidance stored with a threat (§3.2.2)."""
+
+    # Whether rollback/undo to intermediate states may be performed during
+    # reconciliation (enables the history-based path of §3.3).
+    allow_rollback: bool = False
+    # Whether the application wants to be informed when the constraint is
+    # satisfied but a replica conflict occurred for it (§3.3).
+    notify_on_replica_conflict: bool = False
+
+
+@dataclass
+class ConsistencyThreat:
+    """One accepted (or pending) consistency threat."""
+
+    _ids = itertools.count(1)
+
+    constraint_name: str
+    degree: SatisfactionDegree
+    context_ref: ObjectRef | None = None
+    affected_refs: tuple[ObjectRef, ...] = ()
+    application_data: dict[str, Any] = field(default_factory=dict)
+    instructions: ReconciliationInstructions = field(
+        default_factory=ReconciliationInstructions
+    )
+    timestamp: float = 0.0
+    origin_node: str = ""
+    threat_id: int = field(default_factory=lambda: next(ConsistencyThreat._ids))
+    occurrences: int = 1
+    deferred: bool = False
+
+    @property
+    def identity(self) -> ThreatIdentity:
+        """Two threats are identical iff they refer to the same constraint
+        and — if applicable — the same context object (§3.2.2)."""
+        return (self.constraint_name, self.context_ref)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Serializable row for the persistence layer."""
+        return {
+            "threat_id": self.threat_id,
+            "constraint": self.constraint_name,
+            "degree": self.degree.name,
+            "context": str(self.context_ref) if self.context_ref else None,
+            "affected": [str(ref) for ref in self.affected_refs],
+            "application_data": dict(self.application_data),
+            "allow_rollback": self.instructions.allow_rollback,
+            "occurrences": self.occurrences,
+            "timestamp": self.timestamp,
+            "origin_node": self.origin_node,
+        }
+
+
+class ThreatStoragePolicy(enum.Enum):
+    FULL_HISTORY = "full-history"
+    IDENTICAL_ONCE = "identical-once"
+
+
+class ThreatStore:
+    """Persistent store of accepted consistency threats on one node."""
+
+    def __init__(
+        self,
+        engine: PersistenceEngine,
+        policy: ThreatStoragePolicy = ThreatStoragePolicy.IDENTICAL_ONCE,
+    ) -> None:
+        self.engine = engine
+        self.policy = policy
+        self._threats: dict[ThreatIdentity, list[ConsistencyThreat]] = {}
+        self._table = engine.table("consistency_threats")
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, threat: ConsistencyThreat) -> tuple[ConsistencyThreat, bool]:
+        """Persist an accepted threat.
+
+        Returns ``(stored_threat, was_new)``.  Under ``IDENTICAL_ONCE`` an
+        identical existing threat absorbs the new occurrence after a
+        read-only dedup check; under ``FULL_HISTORY`` every occurrence is
+        persisted (cheaper per-occurrence than the initial store).
+        """
+        identity = threat.identity
+        existing = self._threats.get(identity)
+        if existing:
+            if self.policy is ThreatStoragePolicy.IDENTICAL_ONCE:
+                self.engine.charge("threat_dedup_check")
+                head = existing[0]
+                head.occurrences += 1
+                if threat.degree < head.degree:
+                    head.degree = threat.degree
+                return head, False
+            self.engine.charge("threat_persist_identical")
+            existing.append(threat)
+            self._table.put(threat.threat_id, threat.snapshot(), cost="db_write")
+            return threat, True
+        self.engine.charge("threat_persist")
+        self._threats[identity] = [threat]
+        self._table.put(threat.threat_id, threat.snapshot(), cost="db_write")
+        return threat, True
+
+    def apply_remote(self, threat: ConsistencyThreat) -> None:
+        """Apply a threat replicated from another node (no re-negotiation)."""
+        self.record(threat)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def identities(self) -> list[ThreatIdentity]:
+        return list(self._threats.keys())
+
+    def pending(self) -> list[ConsistencyThreat]:
+        """One representative threat per identity, oldest first."""
+        return [threats[0] for threats in self._threats.values()]
+
+    def occurrences_of(self, identity: ThreatIdentity) -> list[ConsistencyThreat]:
+        return list(self._threats.get(identity, []))
+
+    def count_identities(self) -> int:
+        return len(self._threats)
+
+    def count_occurrences(self) -> int:
+        return sum(
+            sum(threat.occurrences for threat in threats)
+            for threats in self._threats.values()
+        )
+
+    def stored_records(self) -> int:
+        """Number of threat rows actually persisted (policy-dependent)."""
+        return sum(len(threats) for threats in self._threats.values())
+
+    def __contains__(self, identity: ThreatIdentity) -> bool:
+        return identity in self._threats
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def remove(self, identity: ThreatIdentity) -> int:
+        """Remove a threat and all identical threats (§3.3).
+
+        Returns the number of persisted records removed.
+        """
+        threats = self._threats.pop(identity, [])
+        for threat in threats:
+            if threat.threat_id in self._table:
+                self._table.delete(threat.threat_id, cost="db_delete")
+        return len(threats)
+
+    def mark_deferred(self, identity: ThreatIdentity) -> None:
+        """Record the application's deferred-reconciliation decision
+        persistently (§4.4)."""
+        threats = self._threats.get(identity)
+        if not threats:
+            raise KeyError(f"no threat {identity!r}")
+        for threat in threats:
+            threat.deferred = True
+        self._table.put(threats[0].threat_id, threats[0].snapshot(), cost="db_write")
+
+    def clear(self) -> None:
+        self._threats.clear()
+        self._table.clear()

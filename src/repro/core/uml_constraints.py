@@ -1,0 +1,172 @@
+"""Constraint factories for UML-expressible conditions (§1.5).
+
+Besides OCL, UML expresses some constraints directly in its graphical
+notation — cardinalities of associations and XOR between associations.
+These factories generate the corresponding explicit runtime constraints so
+a class model's built-in conditions become middleware-enforced without
+hand-written ``validate`` methods:
+
+    cardinality_constraint("CrewComplete", "Flight", "crew", minimum=2,
+                           maximum=6)
+    xor_constraint("SeatOrCargo", "Booking", "seat", "cargo_slot")
+    not_null_constraint("NeedsAircraft", "Flight", "aircraft")
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .model import (
+    Constraint,
+    ConstraintPriority,
+    ConstraintScope,
+    ConstraintType,
+    ConstraintValidationContext,
+)
+
+
+class _FieldConstraint(Constraint):
+    """Base for constraints over one or more declared entity fields."""
+
+    def __init__(
+        self,
+        name: str,
+        context_class: str,
+        priority: ConstraintPriority,
+        constraint_type: ConstraintType,
+    ) -> None:
+        super().__init__(name)
+        self.context_class = context_class
+        self.priority = priority
+        self.constraint_type = constraint_type
+        self.scope = ConstraintScope.INTRA_OBJECT
+
+
+class CardinalityConstraint(_FieldConstraint):
+    """``minimum <= |field| <= maximum`` for a collection-valued field.
+
+    ``None`` bounds are open ends (``0..*`` etc.).  A ``None`` field value
+    counts as the empty collection.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        context_class: str,
+        field: str,
+        minimum: int | None = None,
+        maximum: int | None = None,
+        priority: ConstraintPriority = ConstraintPriority.CRITICAL,
+        constraint_type: ConstraintType = ConstraintType.INVARIANT_HARD,
+    ) -> None:
+        if minimum is None and maximum is None:
+            raise ValueError("cardinality needs at least one bound")
+        if minimum is not None and minimum < 0:
+            raise ValueError("minimum cardinality cannot be negative")
+        if minimum is not None and maximum is not None and minimum > maximum:
+            raise ValueError("minimum cardinality exceeds maximum")
+        super().__init__(name, context_class, priority, constraint_type)
+        self.field = field
+        self.minimum = minimum
+        self.maximum = maximum
+        self.description = (
+            f"{minimum if minimum is not None else 0}"
+            f"..{maximum if maximum is not None else '*'} {field}"
+        )
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        value = ctx.get_context_object()._get(self.field)
+        size = len(value) if value is not None else 0
+        if self.minimum is not None and size < self.minimum:
+            return False
+        if self.maximum is not None and size > self.maximum:
+            return False
+        return True
+
+
+class XorConstraint(_FieldConstraint):
+    """Exactly one of two (reference) fields must be set — UML's {xor}."""
+
+    def __init__(
+        self,
+        name: str,
+        context_class: str,
+        field_a: str,
+        field_b: str,
+        priority: ConstraintPriority = ConstraintPriority.CRITICAL,
+        constraint_type: ConstraintType = ConstraintType.INVARIANT_HARD,
+    ) -> None:
+        super().__init__(name, context_class, priority, constraint_type)
+        self.field_a = field_a
+        self.field_b = field_b
+        self.description = f"{{xor}} between {field_a} and {field_b}"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        entity = ctx.get_context_object()
+        first = entity._get(self.field_a) is not None
+        second = entity._get(self.field_b) is not None
+        return first != second
+
+
+class NotNullConstraint(_FieldConstraint):
+    """A mandatory association end: the field must be set (1..1)."""
+
+    def __init__(
+        self,
+        name: str,
+        context_class: str,
+        field: str,
+        priority: ConstraintPriority = ConstraintPriority.CRITICAL,
+        constraint_type: ConstraintType = ConstraintType.INVARIANT_HARD,
+    ) -> None:
+        super().__init__(name, context_class, priority, constraint_type)
+        self.field = field
+        self.description = f"{field} is mandatory"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        return ctx.get_context_object()._get(self.field) is not None
+
+
+class UniqueWithinContainerConstraint(_FieldConstraint):
+    """A field value must be unique among all instances of the class
+    hosted on the validating node (intra-class constraint, §3.1)."""
+
+    def __init__(
+        self,
+        name: str,
+        context_class: str,
+        field: str,
+        priority: ConstraintPriority = ConstraintPriority.CRITICAL,
+        constraint_type: ConstraintType = ConstraintType.INVARIANT_HARD,
+    ) -> None:
+        super().__init__(name, context_class, priority, constraint_type)
+        # uniqueness spans all instances of the class: inter-object.
+        self.scope = ConstraintScope.INTER_OBJECT
+        self.field = field
+        self.description = f"{field} unique within {context_class}"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        entity = ctx.get_context_object()
+        if entity.container is None:
+            return True
+        value = entity._get(self.field)
+        for other in entity.container.instances_of(self.context_class or ""):
+            if other.oid != entity.oid and other._get(self.field) == value:
+                return False
+        return True
+
+
+def cardinality_constraint(name: str, context_class: str, field: str, **kwargs: Any) -> CardinalityConstraint:
+    return CardinalityConstraint(name, context_class, field, **kwargs)
+
+
+def xor_constraint(name: str, context_class: str, field_a: str, field_b: str, **kwargs: Any) -> XorConstraint:
+    return XorConstraint(name, context_class, field_a, field_b, **kwargs)
+
+
+def not_null_constraint(name: str, context_class: str, field: str, **kwargs: Any) -> NotNullConstraint:
+    return NotNullConstraint(name, context_class, field, **kwargs)
+
+
+def unique_constraint(name: str, context_class: str, field: str, **kwargs: Any) -> UniqueWithinContainerConstraint:
+    return UniqueWithinContainerConstraint(name, context_class, field, **kwargs)

@@ -1,0 +1,272 @@
+"""Availability study (§5.2 simulation studies [Se05]; abstract claims).
+
+The dissertation concludes that the DeDiSys middleware "is most worth its
+costs in systems where (i) the read-to-write ratio is high, (ii) the
+number of replicated nodes is small, and/or (iii) write-performance is not
+the limiting factor", and the [Se05] simulation studies showed that the
+approach combined with P4 increases availability under network partitions.
+
+This harness drives a randomized read/write workload over a cluster that
+alternates between healthy and partitioned windows and reports, per
+replication configuration:
+
+* **availability** — the fraction of attempted operations served
+  (operations blocked by unreachable objects, denied write access, or
+  rejected consistency threats count as failures);
+* **throughput** — operations per simulated second (the cost side);
+* **threats accepted** and **reconciliation time** (the clean-up debt).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cluster import ClusterConfig, DedisysCluster
+from ..core import (
+    ConsistencyThreatRejected,
+    ConstraintPriority,
+    ConstraintViolated,
+    PredicateConstraint,
+    SatisfactionDegree,
+)
+from ..core.metadata import AffectedMethod, ConstraintRegistration
+from ..net import UnreachableError
+from ..objects import Entity
+from ..replication import WriteAccessDenied
+from ..tx import TransactionRolledBack
+
+
+class Record(Entity):
+    """A generic data item with a bounded counter."""
+
+    fields = {"counter": 0, "bound": 10**9}
+
+    def bump(self) -> int:
+        self._set("counter", self._get("counter") + 1)
+        return self._get("counter")
+
+
+def _record_constraint() -> ConstraintRegistration:
+    constraint = PredicateConstraint(
+        "CounterBound",
+        lambda ctx: ctx.get_context_object().get_counter()
+        <= ctx.get_context_object().get_bound(),
+        priority=ConstraintPriority.RELAXABLE,
+        min_satisfaction_degree=SatisfactionDegree.POSSIBLY_SATISFIED,
+        context_class="Record",
+    )
+    return ConstraintRegistration(
+        constraint,
+        (AffectedMethod("Record", "bump"), AffectedMethod("Record", "set_counter")),
+    )
+
+
+@dataclass
+class AvailabilityResult:
+    """Outcome of one availability run."""
+
+    configuration: str
+    attempted: int = 0
+    served: int = 0
+    blocked: int = 0
+    reads_served: int = 0
+    reads_blocked: int = 0
+    writes_served: int = 0
+    writes_blocked: int = 0
+    threats_accepted: int = 0
+    simulated_seconds: float = 0.0
+    reconciliation_seconds: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        return self.served / self.attempted if self.attempted else 0.0
+
+    @property
+    def write_availability(self) -> float:
+        total = self.writes_served + self.writes_blocked
+        return self.writes_served / total if total else 1.0
+
+    @property
+    def read_availability(self) -> float:
+        total = self.reads_served + self.reads_blocked
+        return self.reads_served / total if total else 1.0
+
+    @property
+    def throughput(self) -> float:
+        return self.attempted / self.simulated_seconds if self.simulated_seconds else 0.0
+
+
+def _build(configuration: str, nodes: int) -> DedisysCluster:
+    if configuration == "no-replication":
+        cluster = DedisysCluster(
+            ClusterConfig(
+                node_ids=tuple(f"n{i}" for i in range(1, nodes + 1)),
+                enable_replication=False,
+            )
+        )
+    else:
+        cluster = DedisysCluster(
+            ClusterConfig(
+                node_ids=tuple(f"n{i}" for i in range(1, nodes + 1)),
+                protocol=configuration,
+            )
+        )
+    cluster.deploy(Record)
+    cluster.register_constraint(_record_constraint())
+    return cluster
+
+
+def _random_partition(rng: random.Random, node_ids: Sequence[str]) -> list[set[str]]:
+    """Split the nodes into two non-empty groups."""
+    shuffled = list(node_ids)
+    rng.shuffle(shuffled)
+    cut = rng.randint(1, len(shuffled) - 1)
+    return [set(shuffled[:cut]), set(shuffled[cut:])]
+
+
+def run_availability_study(
+    configuration: str,
+    nodes: int = 3,
+    records: int = 9,
+    operations: int = 400,
+    read_ratio: float = 0.9,
+    degraded_fraction: float = 0.5,
+    seed: int = 7,
+) -> AvailabilityResult:
+    """One randomized run.
+
+    The run alternates healthy and partitioned windows (two of each);
+    ``degraded_fraction`` of all operations are attempted while the
+    network is partitioned.  Operations are issued from random nodes
+    against random records whose designated primaries are spread
+    round-robin over the nodes.
+    """
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError("read_ratio must be within [0, 1]")
+    cluster = _build(configuration, nodes)
+    rng = random.Random(seed)
+    node_ids = list(cluster.nodes)
+    refs = [
+        cluster.create_entity(node_ids[index % nodes], "Record", f"rec-{index}")
+        for index in range(records)
+    ]
+    result = AvailabilityResult(configuration)
+    started = cluster.clock.now
+
+    degraded_ops = int(operations * degraded_fraction)
+    healthy_ops = operations - degraded_ops
+    windows = [
+        ("healthy", healthy_ops // 2),
+        ("degraded", degraded_ops // 2),
+        ("healthy", healthy_ops - healthy_ops // 2),
+        ("degraded", degraded_ops - degraded_ops // 2),
+    ]
+
+    for kind, count in windows:
+        if kind == "degraded" and nodes > 1:
+            groups = _random_partition(rng, node_ids)
+            cluster.partition(*groups)
+        else:
+            was_degraded = cluster.is_degraded()
+            cluster.heal()
+            if was_degraded:
+                before = cluster.clock.now
+                cluster.reconcile()
+                result.reconciliation_seconds += cluster.clock.now - before
+        for _ in range(count):
+            node = rng.choice(node_ids)
+            ref = rng.choice(refs)
+            is_read = rng.random() < read_ratio
+            result.attempted += 1
+            try:
+                if is_read:
+                    cluster.invoke(node, ref, "get_counter")
+                else:
+                    cluster.invoke(node, ref, "bump")
+            except (
+                UnreachableError,
+                WriteAccessDenied,
+                ConsistencyThreatRejected,
+                ConstraintViolated,
+                TransactionRolledBack,
+            ):
+                result.blocked += 1
+                if is_read:
+                    result.reads_blocked += 1
+                else:
+                    result.writes_blocked += 1
+            else:
+                result.served += 1
+                if is_read:
+                    result.reads_served += 1
+                else:
+                    result.writes_served += 1
+
+    # final clean-up
+    if cluster.is_degraded():
+        cluster.heal()
+    before = cluster.clock.now
+    cluster.reconcile()
+    result.reconciliation_seconds += cluster.clock.now - before
+    result.simulated_seconds = cluster.clock.now - started
+    result.threats_accepted = sum(
+        ccmgr.stats["threats_accepted"] for ccmgr in cluster.ccmgrs.values()
+    )
+    return result
+
+
+CONFIGURATIONS = ("no-replication", "primary-partition", "adaptive-voting", "p4")
+
+
+def compare_configurations(
+    nodes: int = 3,
+    read_ratio: float = 0.9,
+    operations: int = 400,
+    seed: int = 7,
+) -> dict[str, AvailabilityResult]:
+    """Run all four configurations under the identical workload."""
+    return {
+        configuration: run_availability_study(
+            configuration,
+            nodes=nodes,
+            operations=operations,
+            read_ratio=read_ratio,
+            seed=seed,
+        )
+        for configuration in CONFIGURATIONS
+    }
+
+
+def read_ratio_sweep(
+    ratios: Sequence[float] = (0.5, 0.8, 0.95),
+    nodes: int = 3,
+    operations: int = 300,
+    seed: int = 7,
+) -> dict[float, dict[str, AvailabilityResult]]:
+    """Abstract claim (i): the cost/benefit of the approach improves with
+    the read-to-write ratio — the availability benefit persists while the
+    replication write penalty is amortized over fewer writes."""
+    return {
+        ratio: compare_configurations(
+            nodes=nodes, read_ratio=ratio, operations=operations, seed=seed
+        )
+        for ratio in ratios
+    }
+
+
+def node_count_sweep(
+    node_counts: Sequence[int] = (2, 3, 4),
+    read_ratio: float = 0.9,
+    operations: int = 300,
+    seed: int = 7,
+) -> dict[int, dict[str, AvailabilityResult]]:
+    """Abstract claim (ii): the write penalty grows with the number of
+    replicated nodes, so small clusters benefit most."""
+    return {
+        count: compare_configurations(
+            nodes=count, read_ratio=read_ratio, operations=operations, seed=seed
+        )
+        for count in node_counts
+    }

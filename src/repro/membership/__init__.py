@@ -1,0 +1,13 @@
+"""Group membership: views, view-change notification, partition weights,
+and heartbeat-based failure detection."""
+
+from .failure_detector import HeartbeatFailureDetector, SuspicionEvent
+from .gms import GroupMembershipService, View, ViewListener
+
+__all__ = [
+    "GroupMembershipService",
+    "HeartbeatFailureDetector",
+    "SuspicionEvent",
+    "View",
+    "ViewListener",
+]

@@ -1,0 +1,135 @@
+"""Heartbeat-based failure detection.
+
+The GMS of the prototype sits on a group-communication toolkit whose
+failure detector needs *time* to suspect a crashed or disconnected node —
+failures are not known instantaneously.  While
+:class:`~repro.membership.gms.GroupMembershipService` derives views from
+ground-truth connectivity (sufficient for the Chapter-5 experiments, which
+inject failures explicitly), this detector models the detection process
+itself: every node multicasts heartbeats on a period; a node that missed
+``timeout`` worth of heartbeats becomes *suspected*.
+
+Because node and link failures cannot be differentiated when they occur
+(§1.1, [FLP85]), a suspicion says only "unreachable" — whether the node
+crashed or the link failed becomes known when it is reachable again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..net import NodeId, SimNetwork
+from ..sim import Scheduler
+
+SuspicionListener = Callable[[NodeId, NodeId, bool], None]
+"""Callback ``(observer, subject, suspected)``."""
+
+
+@dataclass(frozen=True)
+class SuspicionEvent:
+    observer: NodeId
+    subject: NodeId
+    suspected: bool
+    timestamp: float
+
+
+class HeartbeatFailureDetector:
+    """Periodic heartbeats with timeout-based suspicion, per observer."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        scheduler: Scheduler | None = None,
+        period: float = 0.5,
+        timeout: float = 1.6,
+    ) -> None:
+        if period <= 0 or timeout <= period:
+            raise ValueError("need 0 < period < timeout")
+        self.network = network
+        self.scheduler = scheduler if scheduler is not None else network.scheduler
+        self.period = period
+        self.timeout = timeout
+        # observer -> subject -> last heartbeat receive time
+        self._last_seen: dict[NodeId, dict[NodeId, float]] = {
+            node: {
+                other: self.scheduler.clock.now
+                for other in network.nodes
+                if other != node
+            }
+            for node in network.nodes
+        }
+        self._suspected: dict[NodeId, set[NodeId]] = {node: set() for node in network.nodes}
+        self._listeners: list[SuspicionListener] = []
+        self.events: list[SuspicionEvent] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: SuspicionListener) -> None:
+        self._listeners.append(listener)
+
+    def suspects(self, observer: NodeId) -> frozenset[NodeId]:
+        """The nodes ``observer`` currently suspects."""
+        return frozenset(self._suspected[observer])
+
+    def is_suspected(self, observer: NodeId, subject: NodeId) -> bool:
+        return subject in self._suspected[observer]
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first heartbeat round."""
+        if self._running:
+            return
+        self._running = True
+        self.scheduler.schedule_after(self.period, self._round, label="heartbeat")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def run_for(self, seconds: float) -> None:
+        """Convenience: start and advance the simulation by ``seconds``."""
+        self.start()
+        self.scheduler.run_until(self.scheduler.clock.now + seconds)
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        if not self._running:
+            return
+        now = self.scheduler.clock.now
+        # Heartbeat exchange: reachability is evaluated per pair; crashed
+        # senders emit nothing.
+        for sender in self.network.nodes:
+            if self.network.is_crashed(sender):
+                continue
+            for receiver in self.network.nodes:
+                if receiver == sender or self.network.is_crashed(receiver):
+                    continue
+                if self.network.reachable(sender, receiver):
+                    self._last_seen[receiver][sender] = now
+        # Suspicion evaluation.
+        for observer in self.network.nodes:
+            if self.network.is_crashed(observer):
+                continue
+            for subject, seen in self._last_seen[observer].items():
+                overdue = (now - seen) > self.timeout
+                currently = subject in self._suspected[observer]
+                if overdue and not currently:
+                    self._suspected[observer].add(subject)
+                    self._emit(observer, subject, True, now)
+                elif not overdue and currently:
+                    self._suspected[observer].discard(subject)
+                    self._emit(observer, subject, False, now)
+        self.scheduler.schedule_after(self.period, self._round, label="heartbeat")
+
+    def _emit(self, observer: NodeId, subject: NodeId, suspected: bool, now: float) -> None:
+        self.events.append(SuspicionEvent(observer, subject, suspected, now))
+        for listener in self._listeners:
+            listener(observer, subject, suspected)
+
+    def detection_latency(self, observer: NodeId, subject: NodeId) -> float | None:
+        """Time from the most recent suspicion of ``subject`` back to the
+        last heartbeat received from it (None if never suspected)."""
+        for event in reversed(self.events):
+            if event.observer == observer and event.subject == subject and event.suspected:
+                return event.timestamp - self._last_seen[observer][subject]
+        return None

@@ -1,0 +1,14 @@
+"""Simulated network substrate: links, partitions, crashes, multicast."""
+
+from .messages import Message, NodeCrashedError, NodeId, UnreachableError
+from .multicast import GroupChannel
+from .network import SimNetwork
+
+__all__ = [
+    "GroupChannel",
+    "Message",
+    "NodeCrashedError",
+    "NodeId",
+    "SimNetwork",
+    "UnreachableError",
+]

@@ -1,0 +1,55 @@
+"""Message types exchanged over the simulated network.
+
+The failure model follows §1.1 of the dissertation: nodes crash (pause-crash
+for servers), links may lose messages but never duplicate or corrupt them.
+Messages therefore carry only a payload, routing metadata, and a sequence
+number used by tests to assert ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+NodeId = str
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point or multicast message."""
+
+    source: NodeId
+    destination: NodeId
+    kind: str
+    payload: Any = None
+    sequence: int = field(default_factory=lambda: next(_sequence))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.sequence} {self.kind} "
+            f"{self.source}->{self.destination})"
+        )
+
+
+class UnreachableError(RuntimeError):
+    """Raised when a destination cannot be reached from the source.
+
+    Corresponds to the situations the paper classifies as NCC input: an
+    affected object's node is in another partition or crashed.
+    """
+
+    def __init__(self, source: NodeId, destination: NodeId) -> None:
+        super().__init__(f"{destination} is unreachable from {source}")
+        self.source = source
+        self.destination = destination
+
+
+class NodeCrashedError(RuntimeError):
+    """Raised when an operation is attempted on a crashed node."""
+
+    def __init__(self, node: NodeId) -> None:
+        super().__init__(f"node {node} has crashed")
+        self.node = node

@@ -1,0 +1,76 @@
+"""Group communication (Spread analogue).
+
+The replication service of the paper multicasts update messages from the
+primary to all backups via the Spread toolkit and waits synchronously for
+confirmations (§4.3).  :class:`GroupChannel` models exactly that: a
+multicast reaches every *reachable* group member, costs a base latency plus
+a per-recipient increment, and returns the acknowledging members so the
+caller knows which backups actually applied the update.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim import CostModel
+from .messages import Message, NodeCrashedError, NodeId
+from .network import SimNetwork
+
+
+class GroupChannel:
+    """View-synchronous multicast over the simulated network."""
+
+    def __init__(self, network: SimNetwork, group: str = "dedisys") -> None:
+        self.network = network
+        self.group = group
+        self._handlers: dict[NodeId, Callable[[Message], Any]] = {}
+
+    def join(self, node: NodeId, handler: Callable[[Message], Any]) -> None:
+        """Register ``node`` as a group member with a delivery handler."""
+        if node not in self.network.nodes:
+            raise KeyError(f"unknown node {node!r}")
+        self._handlers[node] = handler
+
+    def leave(self, node: NodeId) -> None:
+        self._handlers.pop(node, None)
+
+    @property
+    def members(self) -> tuple[NodeId, ...]:
+        return tuple(sorted(self._handlers))
+
+    def multicast(
+        self,
+        source: NodeId,
+        kind: str,
+        payload: Any = None,
+        await_acks: bool = True,
+    ) -> dict[NodeId, Any]:
+        """Multicast to every reachable member; return replies by node.
+
+        Only members in the sender's partition receive the message —
+        exactly the behaviour that creates stale backups in other
+        partitions.  The cost charged is ``multicast_base`` plus
+        ``multicast_per_node`` per recipient, doubled when waiting for the
+        synchronous confirmations the P4 protocol requires.
+        """
+        if self.network.is_crashed(source):
+            raise NodeCrashedError(source)
+        costs: CostModel = self.network.costs
+        recipients = [
+            node
+            for node in self.members
+            if node != source and self.network.reachable(source, node)
+        ]
+        round_trips = 2 if await_acks else 1
+        duration = round_trips * (
+            costs.multicast_base + costs.multicast_per_node * len(recipients)
+        )
+        if recipients:
+            self.network.scheduler.clock.advance(
+                self.network.ledger.charge("multicast", duration)
+            )
+        replies: dict[NodeId, Any] = {}
+        for node in recipients:
+            message = Message(source, node, kind, payload)
+            replies[node] = self._handlers[node](message)
+        return replies

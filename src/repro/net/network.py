@@ -1,0 +1,231 @@
+"""Simulated network with link failures, node crashes, and partitions.
+
+The topology starts fully connected.  Failures are injected by failing
+individual links (``fail_link``), by splitting the node set into partitions
+(``partition`` — fails every link crossing partition boundaries), or by
+crashing nodes.  Partitions are *derived* from the link state as connected
+components, mirroring the dissertation's view that node and link failures
+cannot be distinguished when they occur (§1.1): a crashed node simply
+appears as a singleton partition to everyone else.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Iterable, Sequence
+
+from ..sim import CostLedger, CostModel, Scheduler
+from .messages import Message, NodeCrashedError, NodeId, UnreachableError
+
+
+class SimNetwork:
+    """The message substrate shared by all simulated nodes."""
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        scheduler: Scheduler | None = None,
+        costs: CostModel | None = None,
+        loss_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("duplicate node ids")
+        if not nodes:
+            raise ValueError("network needs at least one node")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.nodes: tuple[NodeId, ...] = tuple(nodes)
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.costs = costs if costs is not None else CostModel()
+        self.ledger = CostLedger()
+        self.loss_probability = loss_probability
+        self._rng = random.Random(seed)
+        self._failed_links: set[frozenset[NodeId]] = set()
+        self._crashed: set[NodeId] = set()
+        self._handlers: dict[NodeId, Callable[[Message], Any]] = {}
+        self._delivered: list[Message] = []
+        self._topology_listeners: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # topology control
+    # ------------------------------------------------------------------
+    def register_handler(self, node: NodeId, handler: Callable[[Message], Any]) -> None:
+        """Register the message handler for ``node``."""
+        self._require_node(node)
+        self._handlers[node] = handler
+
+    def on_topology_change(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after any failure/heal event.
+
+        The group membership service subscribes here to recompute views.
+        """
+        self._topology_listeners.append(listener)
+
+    def fail_link(self, a: NodeId, b: NodeId) -> None:
+        """Fail the bidirectional link between ``a`` and ``b``."""
+        self._require_node(a)
+        self._require_node(b)
+        if a == b:
+            raise ValueError("a node has no link to itself")
+        self._failed_links.add(frozenset((a, b)))
+        self._notify_topology()
+
+    def heal_link(self, a: NodeId, b: NodeId) -> None:
+        """Repair the link between ``a`` and ``b``."""
+        self._failed_links.discard(frozenset((a, b)))
+        self._notify_topology()
+
+    def partition(self, *groups: Iterable[NodeId]) -> None:
+        """Split the network into the given groups.
+
+        Every link between nodes of different groups fails; links within a
+        group are healed.  Nodes not mentioned form an implicit final group.
+        """
+        assigned: dict[NodeId, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                self._require_node(node)
+                if node in assigned:
+                    raise ValueError(f"node {node} listed in two groups")
+                assigned[node] = index
+        remainder_index = len(groups)
+        for node in self.nodes:
+            assigned.setdefault(node, remainder_index)
+        self._failed_links.clear()
+        for i, a in enumerate(self.nodes):
+            for b in self.nodes[i + 1 :]:
+                if assigned[a] != assigned[b]:
+                    self._failed_links.add(frozenset((a, b)))
+        self._notify_topology()
+
+    def heal_all(self) -> None:
+        """Repair every link and recover every crashed node."""
+        self._failed_links.clear()
+        self._crashed.clear()
+        self._notify_topology()
+
+    def crash_node(self, node: NodeId) -> None:
+        """Crash ``node`` (pause-crash: state survives, §1.1)."""
+        self._require_node(node)
+        self._crashed.add(node)
+        self._notify_topology()
+
+    def recover_node(self, node: NodeId) -> None:
+        """Recover a previously crashed node."""
+        self._crashed.discard(node)
+        self._notify_topology()
+
+    def is_crashed(self, node: NodeId) -> bool:
+        return node in self._crashed
+
+    # ------------------------------------------------------------------
+    # reachability / partitions
+    # ------------------------------------------------------------------
+    def link_up(self, a: NodeId, b: NodeId) -> bool:
+        """Whether the direct link between two live nodes is usable."""
+        if a in self._crashed or b in self._crashed:
+            return False
+        return frozenset((a, b)) not in self._failed_links
+
+    def reachable(self, source: NodeId, destination: NodeId) -> bool:
+        """Whether ``destination`` can be reached from ``source``.
+
+        Routing goes through intermediate live nodes, so reachability is
+        graph connectivity over the healthy links.
+        """
+        self._require_node(source)
+        self._require_node(destination)
+        if source in self._crashed or destination in self._crashed:
+            return False
+        if source == destination:
+            return True
+        return destination in self._component_of(source)
+
+    def partitions(self) -> list[frozenset[NodeId]]:
+        """Connected components of live nodes, largest first.
+
+        Crashed nodes are excluded entirely — from the outside they are
+        indistinguishable from singleton partitions, but they execute
+        nothing until recovered.
+        """
+        remaining = [n for n in self.nodes if n not in self._crashed]
+        seen: set[NodeId] = set()
+        components: list[frozenset[NodeId]] = []
+        for node in remaining:
+            if node in seen:
+                continue
+            component = self._component_of(node)
+            seen |= component
+            components.append(frozenset(component))
+        components.sort(key=lambda c: (-len(c), sorted(c)))
+        return components
+
+    def partition_of(self, node: NodeId) -> frozenset[NodeId]:
+        """The set of live nodes in ``node``'s partition."""
+        self._require_node(node)
+        if node in self._crashed:
+            return frozenset()
+        return frozenset(self._component_of(node))
+
+    def is_healthy(self) -> bool:
+        """True when no failures are present (one partition, no crashes)."""
+        return not self._crashed and len(self.partitions()) == 1
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, source: NodeId, destination: NodeId, kind: str, payload: Any = None) -> Any:
+        """Synchronously deliver a message, charging one network latency.
+
+        Raises :class:`UnreachableError` when no route exists and
+        :class:`NodeCrashedError` when the source itself crashed.  A lossy
+        link may drop the message (also surfaced as ``UnreachableError`` —
+        the sender cannot tell a lost message from a partition).
+        """
+        if source in self._crashed:
+            raise NodeCrashedError(source)
+        if not self.reachable(source, destination):
+            raise UnreachableError(source, destination)
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            raise UnreachableError(source, destination)
+        message = Message(source, destination, kind, payload)
+        if source != destination:
+            self.scheduler.clock.advance(
+                self.ledger.charge("network_latency", self.costs.network_latency)
+            )
+        self._delivered.append(message)
+        handler = self._handlers.get(destination)
+        if handler is None:
+            return None
+        return handler(message)
+
+    @property
+    def delivered_messages(self) -> list[Message]:
+        """All messages delivered so far (test introspection)."""
+        return list(self._delivered)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _component_of(self, start: NodeId) -> set[NodeId]:
+        component = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for other in self.nodes:
+                if other in component or other in self._crashed:
+                    continue
+                if self.link_up(current, other):
+                    component.add(other)
+                    frontier.append(other)
+        return component
+
+    def _require_node(self, node: NodeId) -> None:
+        if node not in self.nodes:
+            raise KeyError(f"unknown node {node!r}")
+
+    def _notify_topology(self) -> None:
+        for listener in self._topology_listeners:
+            listener()

@@ -1,0 +1,35 @@
+"""Distributed-object model: entities, containers, naming, interception."""
+
+from .container import Container
+from .entity import Entity, ObjectAccessTracker, pop_tracker, push_tracker
+from .invocation import (
+    ContainerInvoker,
+    CostInterceptor,
+    Interceptor,
+    InterceptorChain,
+    Invocation,
+    InvocationService,
+)
+from .naming import LocationService, NamingService
+from .node import Node, NodeServices
+from .refs import ObjectNotFound, ObjectRef
+
+__all__ = [
+    "Container",
+    "ContainerInvoker",
+    "CostInterceptor",
+    "Entity",
+    "Interceptor",
+    "InterceptorChain",
+    "Invocation",
+    "InvocationService",
+    "LocationService",
+    "NamingService",
+    "Node",
+    "NodeServices",
+    "ObjectAccessTracker",
+    "ObjectNotFound",
+    "ObjectRef",
+    "pop_tracker",
+    "push_tracker",
+]

@@ -1,0 +1,11 @@
+"""Journaled persistence with simulated access costs."""
+
+from .store import JournalEntry, PersistenceEngine, StateHistory, StateVersion, Table
+
+__all__ = [
+    "JournalEntry",
+    "PersistenceEngine",
+    "StateHistory",
+    "StateVersion",
+    "Table",
+]

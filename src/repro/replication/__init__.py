@@ -1,0 +1,37 @@
+"""Replication support: protocols, manager, and chain interceptors."""
+
+from .interceptors import (
+    PersistenceInterceptor,
+    ReplicationServerInterceptor,
+    TransportInterceptor,
+)
+from .manager import (
+    ReplicaConflict,
+    ReplicaConsistencyHandler,
+    ReplicaInfo,
+    ReplicationManager,
+    UpdateRecord,
+    WriteAccessDenied,
+)
+from .protocols import (
+    AdaptiveVotingProtocol,
+    PrimaryPartitionProtocol,
+    PrimaryPerPartitionProtocol,
+    ReplicationProtocol,
+)
+
+__all__ = [
+    "AdaptiveVotingProtocol",
+    "PersistenceInterceptor",
+    "PrimaryPartitionProtocol",
+    "PrimaryPerPartitionProtocol",
+    "ReplicaConflict",
+    "ReplicaConsistencyHandler",
+    "ReplicaInfo",
+    "ReplicationManager",
+    "ReplicationProtocol",
+    "ReplicationServerInterceptor",
+    "TransportInterceptor",
+    "UpdateRecord",
+    "WriteAccessDenied",
+]

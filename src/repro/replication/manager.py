@@ -1,0 +1,392 @@
+"""Replication manager (§4.3).
+
+Maintains replica placement, routes writes to the (possibly temporary)
+primary, propagates updates synchronously from the primary to all reachable
+backups via group communication, keeps degraded-mode state history and
+update records, and detects write-write replica conflicts during the
+reconciliation phase.
+
+It also implements the CCMgr's staleness-provider interface: an object view
+is possibly stale when the configured protocol says updates may have
+happened in an unreachable part of the system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..membership import GroupMembershipService
+from ..net import GroupChannel, Message, NodeId, SimNetwork, UnreachableError
+from ..objects import Entity, Node, ObjectNotFound, ObjectRef
+from .protocols import ReplicationProtocol
+
+
+class WriteAccessDenied(RuntimeError):
+    """The protocol forbids writes in the caller's partition."""
+
+    def __init__(self, ref: ObjectRef, partition: frozenset[NodeId]) -> None:
+        super().__init__(
+            f"write to {ref} not allowed in partition {sorted(partition)}"
+        )
+        self.ref = ref
+        self.partition = partition
+
+
+@dataclass(frozen=True)
+class ReplicaInfo:
+    """Placement of one replicated logical object."""
+
+    ref: ObjectRef
+    designated_primary: NodeId
+    replica_nodes: tuple[NodeId, ...]
+
+
+@dataclass
+class UpdateRecord:
+    """One update applied somewhere during degraded mode."""
+
+    _ids = itertools.count(1)
+
+    ref: ObjectRef
+    kind: str  # "state", "create", or "delete"
+    partition_key: frozenset[NodeId]
+    node: NodeId
+    version: int
+    state: dict[str, Any] | None
+    timestamp: float
+    epoch: int
+    record_id: int = field(default_factory=lambda: next(UpdateRecord._ids))
+
+
+@dataclass
+class ReplicaConflict:
+    """A write-write conflict detected during reconciliation."""
+
+    ref: ObjectRef
+    candidates: list[UpdateRecord]
+    chosen: UpdateRecord | None = None
+
+
+# Application callback producing a replica-consistent state from the
+# conflicting candidates (Fig. 4.6).  Returning None falls back to the
+# generic resolution (latest update wins).
+ReplicaConsistencyHandler = Callable[[ReplicaConflict], UpdateRecord | None]
+
+
+class ReplicationManager:
+    """Cluster-wide replication service."""
+
+    def __init__(
+        self,
+        nodes: Mapping[NodeId, Node],
+        network: SimNetwork,
+        gms: GroupMembershipService,
+        channel: GroupChannel,
+        protocol: ReplicationProtocol,
+        join_channel: bool = True,
+    ) -> None:
+        self.nodes = dict(nodes)
+        self.network = network
+        self.gms = gms
+        self.channel = channel
+        self.protocol = protocol
+        self._replicas: dict[ObjectRef, ReplicaInfo] = {}
+        self._replicated_classes: set[str] = set()
+        self.epoch = 0
+        self._update_records: list[UpdateRecord] = []
+        self.conflicts_detected: list[ReplicaConflict] = []
+        network.on_topology_change(self._on_topology_change)
+        if join_channel:
+            for node_id in self.nodes:
+                channel.join(node_id, self.make_member_handler(node_id))
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def replicate_class(self, class_name: str) -> None:
+        """Mark a deployed entity class as replicated."""
+        self._replicated_classes.add(class_name)
+
+    def is_replicated(self, ref: ObjectRef) -> bool:
+        return ref in self._replicas
+
+    def is_replicated_class(self, class_name: str) -> bool:
+        return class_name in self._replicated_classes
+
+    def info(self, ref: ObjectRef) -> ReplicaInfo:
+        if ref not in self._replicas:
+            raise ObjectNotFound(ref)
+        return self._replicas[ref]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def register_created(
+        self, ref: ObjectRef, primary: NodeId, state: dict[str, Any]
+    ) -> None:
+        """Register a freshly created entity and replicate it.
+
+        The primary has already created its instance; backups receive the
+        (serialized) creation request.  Replica metadata — JNDI name,
+        primary key, creation request — is persisted per node (§5.1).
+        """
+        info = ReplicaInfo(ref, primary, tuple(self.nodes))
+        self._replicas[ref] = info
+        self.nodes[primary].persistence.charge("replica_metadata_write")
+        partition = self.network.partition_of(primary)
+        self.channel.multicast(
+            primary,
+            "replica-create",
+            {"ref": ref, "state": state},
+        )
+        if self._is_degraded(partition):
+            self._record_update(ref, "create", primary, 0, state, partition)
+
+    def register_deleted(self, ref: ObjectRef, primary: NodeId) -> None:
+        """Delete an entity everywhere reachable."""
+        # Remove the replica bookkeeping record on the primary.
+        self.nodes[primary].persistence.charge("db_write")
+        partition = self.network.partition_of(primary)
+        self.channel.multicast(primary, "replica-delete", {"ref": ref})
+        if self._is_degraded(partition):
+            self._record_update(ref, "delete", primary, 0, None, partition)
+        else:
+            self._replicas.pop(ref, None)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route_write(self, ref: ObjectRef, caller: NodeId) -> NodeId:
+        """The node that must execute a write issued from ``caller``."""
+        info = self.info(ref)
+        partition = self.network.partition_of(caller)
+        target = self.protocol.write_node(
+            info.designated_primary, info.replica_nodes, partition
+        )
+        if target is None:
+            raise WriteAccessDenied(ref, partition)
+        return target
+
+    def route_read(self, ref: ObjectRef, caller: NodeId) -> NodeId:
+        """Reads are served locally whenever a replica exists (§4.3)."""
+        info = self.info(ref)
+        if caller in info.replica_nodes:
+            return caller
+        partition = self.network.partition_of(caller)
+        for node in info.replica_nodes:
+            if node in partition:
+                return node
+        raise UnreachableError(caller, str(ref))
+
+    # ------------------------------------------------------------------
+    # update propagation
+    # ------------------------------------------------------------------
+    def propagate_update(self, primary: NodeId, entity: Entity) -> None:
+        """Synchronously propagate the entity's state to reachable backups.
+
+        In degraded mode the primary additionally records the intermediate
+        state in its history (for reconciliation rollback) and an update
+        record (for conflict detection).
+        """
+        ref = entity.ref
+        if ref not in self._replicas:
+            return
+        # Per-update bookkeeping of replica details on the primary (§5.1).
+        self.nodes[primary].persistence.charge("replica_detail_write")
+        partition = self.network.partition_of(primary)
+        state = entity.state()
+        self.channel.multicast(
+            primary,
+            "replica-update",
+            {"ref": ref, "state": state, "version": entity.version},
+        )
+        if self._is_degraded(partition):
+            self.nodes[primary].state_history.record(
+                ref, entity.version, state, partition_epoch=self.epoch
+            )
+            self._record_update(ref, "state", primary, entity.version, state, partition)
+
+    # ------------------------------------------------------------------
+    # staleness (CCMgr interface)
+    # ------------------------------------------------------------------
+    def is_possibly_stale(self, entity: Entity) -> bool:
+        ref = entity.ref
+        if ref not in self._replicas:
+            return False
+        if entity.container is None:
+            return False
+        node = entity.container.node.node_id
+        info = self._replicas[ref]
+        partition = self.network.partition_of(node)
+        return self.protocol.is_possibly_stale(
+            info.designated_primary, info.replica_nodes, partition
+        )
+
+    def had_replica_conflict(self, ref: ObjectRef) -> bool:
+        return any(conflict.ref == ref for conflict in self.conflicts_detected)
+
+    # ------------------------------------------------------------------
+    # reconciliation — replica phase (Fig. 4.6, upper half)
+    # ------------------------------------------------------------------
+    def reconcile_replicas(
+        self,
+        merged_partition: frozenset[NodeId],
+        handler: ReplicaConsistencyHandler | None = None,
+    ) -> list[ReplicaConflict]:
+        """Propagate missed updates and resolve write-write conflicts.
+
+        For every object updated during degraded mode, the recorded
+        updates are grouped by the partition in which they happened.
+        Disjoint partitions that both updated the object constitute a
+        write-write conflict, resolved by the application-provided replica
+        consistency handler (or generically: the latest update wins).  The
+        chosen state is applied to every replica in the merged partition.
+        Returns the conflicts found.
+        """
+        by_ref: dict[ObjectRef, list[UpdateRecord]] = {}
+        remaining: list[UpdateRecord] = []
+        for record in self._update_records:
+            if record.node in merged_partition:
+                by_ref.setdefault(record.ref, []).append(record)
+            else:
+                remaining.append(record)
+        conflicts: list[ReplicaConflict] = []
+        for ref in sorted(by_ref, key=str):
+            records = by_ref[ref]
+            resolved = self._reconcile_object(ref, records, merged_partition, handler)
+            if resolved is not None:
+                conflicts.append(resolved)
+        self._update_records = remaining
+        self.conflicts_detected.extend(conflicts)
+        return conflicts
+
+    def clear_conflicts(self) -> None:
+        """Forget resolved conflicts (called when reconciliation ends)."""
+        self.conflicts_detected.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _reconcile_object(
+        self,
+        ref: ObjectRef,
+        records: list[UpdateRecord],
+        merged_partition: frozenset[NodeId],
+        handler: ReplicaConsistencyHandler | None,
+    ) -> ReplicaConflict | None:
+        partitions_involved: list[frozenset[NodeId]] = []
+        for record in records:
+            if not any(record.partition_key & seen for seen in partitions_involved):
+                partitions_involved.append(record.partition_key)
+        latest = max(records, key=lambda r: (r.timestamp, r.version, r.record_id))
+        conflict: ReplicaConflict | None = None
+        chosen = latest
+        if len(partitions_involved) > 1:
+            conflict = ReplicaConflict(ref=ref, candidates=list(records))
+            if handler is not None:
+                selected = handler(conflict)
+                if selected is not None:
+                    chosen = selected
+            conflict.chosen = chosen
+        self._apply_everywhere(ref, chosen, merged_partition)
+        return conflict
+
+    def _apply_everywhere(
+        self, ref: ObjectRef, record: UpdateRecord, merged_partition: frozenset[NodeId]
+    ) -> None:
+        """Apply the chosen record to every replica in the partition."""
+        source = record.node if record.node in merged_partition else min(merged_partition)
+        if record.kind == "delete":
+            self.channel.multicast(source, "replica-delete", {"ref": ref})
+            node = self.nodes[source]
+            if node.container.has(ref):
+                node.container.remove(ref)
+            self._replicas.pop(ref, None)
+            return
+        version = record.version
+        payload = {"ref": ref, "state": record.state, "version": version}
+        if record.kind == "create":
+            self.channel.multicast(source, "replica-create", payload)
+            node = self.nodes[source]
+            if not node.container.has(ref):
+                node.container.create(ref.class_name, ref.oid, record.state or {})
+        else:
+            self.channel.multicast(source, "replica-update", payload)
+            node = self.nodes[source]
+            if node.container.has(ref):
+                entity = node.container.resolve(ref)
+                entity.apply_state(record.state or {}, version=version)
+                node.persistence.table("entities").put(
+                    (ref.class_name, ref.oid), record.state or {}
+                )
+
+    def _record_update(
+        self,
+        ref: ObjectRef,
+        kind: str,
+        node: NodeId,
+        version: int,
+        state: dict[str, Any] | None,
+        partition: frozenset[NodeId],
+    ) -> None:
+        self._update_records.append(
+            UpdateRecord(
+                ref=ref,
+                kind=kind,
+                partition_key=partition,
+                node=node,
+                version=version,
+                state=state,
+                timestamp=self.network.scheduler.clock.now,
+                epoch=self.epoch,
+            )
+        )
+
+    def pending_update_records(self) -> list[UpdateRecord]:
+        return list(self._update_records)
+
+    def _is_degraded(self, partition: frozenset[NodeId]) -> bool:
+        return len(partition) < len(self.network.nodes)
+
+    def _on_topology_change(self) -> None:
+        self.epoch += 1
+
+    def make_member_handler(self, node_id: NodeId) -> Callable[[Message], Any]:
+        def handle(message: Message) -> str:
+            node = self.nodes[node_id]
+            payload = message.payload or {}
+            ref: ObjectRef = payload.get("ref")
+            if message.kind == "replica-update":
+                # Associate the propagated transaction context and apply
+                # the update within it (§4.3).
+                node.persistence.charge("tx_remote_association")
+                if node.container.has(ref):
+                    entity = node.container.resolve(ref)
+                    old_state = entity.state()
+                    old_version = entity.version
+                    entity.apply_state(payload["state"], version=payload.get("version"))
+                    node.persistence.table("entities").put(
+                        (ref.class_name, ref.oid), payload["state"]
+                    )
+                    tx = node.services.txmgr.current
+                    if tx is not None and tx.is_active:
+                        tx.log_undo(
+                            lambda e=entity, s=old_state, v=old_version: e.apply_state(
+                                s, version=v
+                            )
+                        )
+                return "ack"
+            if message.kind == "replica-create":
+                node.persistence.charge("replica_metadata_write")
+                if not node.container.has(ref):
+                    node.container.create(ref.class_name, ref.oid, payload.get("state") or {})
+                return "ack"
+            if message.kind == "replica-delete":
+                if node.container.has(ref):
+                    node.container.remove(ref)
+                return "ack"
+            return "ignored"
+
+        return handle

@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation kernel.
+
+Provides the simulated clock, the event scheduler, and the parametric cost
+model that replace the paper's physical testbed.
+"""
+
+from .clock import SimClock, Stopwatch
+from .costs import CostLedger, CostModel
+from .scheduler import Event, Scheduler
+
+__all__ = [
+    "CostLedger",
+    "CostModel",
+    "Event",
+    "Scheduler",
+    "SimClock",
+    "Stopwatch",
+]

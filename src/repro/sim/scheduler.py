@@ -1,0 +1,136 @@
+"""Discrete-event scheduler driving the simulated cluster.
+
+Events are callbacks scheduled at absolute simulated timestamps.  The
+scheduler pops events in timestamp order (FIFO among equal timestamps) and
+advances the :class:`~repro.sim.clock.SimClock` accordingly.  This gives the
+substrate a deterministic notion of "later" that the group-membership
+service, update propagation, and reconciliation build on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .clock import SimClock
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    timestamp: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.  Cancel with :meth:`cancel`."""
+
+    __slots__ = ("callback", "args", "cancelled", "timestamp", "label")
+
+    def __init__(
+        self,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+        timestamp: float,
+        label: str = "",
+    ) -> None:
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.timestamp = timestamp
+        self.label = label
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        return self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.label or getattr(self.callback, "__name__", "?")
+        return f"Event({name!r} at {self.timestamp:.6f})"
+
+
+class Scheduler:
+    """Priority-queue event scheduler over a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: list[_QueuedEvent] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for item in self._queue if not item.event.cancelled)
+
+    def schedule_at(
+        self,
+        timestamp: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self.clock.now}, at={timestamp}"
+            )
+        event = Event(callback, args, timestamp, label)
+        heapq.heappush(self._queue, _QueuedEvent(timestamp, next(self._counter), event))
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, *args, label=label)
+
+    def step(self) -> Event | None:
+        """Fire the next pending event, advancing the clock to it.
+
+        Returns the fired event, or ``None`` when the queue is empty.
+        """
+        while self._queue:
+            item = heapq.heappop(self._queue)
+            if item.event.cancelled:
+                continue
+            self.clock.advance_to(item.timestamp)
+            item.event.fire()
+            return item.event
+        return None
+
+    def run_until(self, timestamp: float) -> int:
+        """Fire all events up to and including ``timestamp``.
+
+        The clock ends exactly at ``timestamp``.  Returns the number of
+        events fired.
+        """
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.timestamp > timestamp:
+                break
+            self.step()
+            fired += 1
+        if timestamp > self.clock.now:
+            self.clock.advance_to(timestamp)
+        return fired
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Fire every pending event.  Guards against runaway loops."""
+        fired = 0
+        while self.step() is not None:
+            fired += 1
+            if fired >= max_events:
+                raise RuntimeError(f"scheduler drain exceeded {max_events} events")
+        return fired

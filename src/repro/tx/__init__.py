@@ -1,0 +1,17 @@
+"""Transaction management: AID transactions with two-phase commit."""
+
+from .transactions import (
+    Transaction,
+    TransactionManager,
+    TransactionRolledBack,
+    TransactionStatus,
+    TransactionalResource,
+)
+
+__all__ = [
+    "Transaction",
+    "TransactionManager",
+    "TransactionRolledBack",
+    "TransactionStatus",
+    "TransactionalResource",
+]

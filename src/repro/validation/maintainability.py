@@ -1,0 +1,143 @@
+"""Maintainability indicators for the validation approaches (§2.2).
+
+Chapter 2 weighs the performance of each approach against implementation
+and maintainability issues: handcrafted checks tangle business logic and
+scatter each constraint over every site that must check it, while explicit
+constraint classes keep one definition per constraint and localize changes.
+This module makes those §2.2 arguments quantitative for the reproduction's
+workload:
+
+* **definition sites** — how many places implement a given constraint
+  (handcrafted: every trigger method; explicit classes: one);
+* **tangling** — constraint-handling statements woven into business
+  methods (in-place instrumentation and handcrafted code score high);
+* **runtime manageability** — whether constraints can be added, removed,
+  enabled and disabled without regenerating or editing code;
+* **tool dependence** — whether a generator/compiler must be re-run after
+  a constraint change.
+
+The numbers are derived from the same specs and structures the approaches
+actually execute, not hand-entered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .workload import CONSTRAINT_SPECS
+
+
+@dataclass(frozen=True)
+class MaintainabilityProfile:
+    """Indicators for one validation approach."""
+
+    approach: str
+    definition_sites_per_constraint: float
+    tangled_with_business_code: bool
+    runtime_manageable: bool
+    regeneration_needed_on_change: bool
+    separate_artefact: bool
+
+    @property
+    def scattering(self) -> float:
+        """Total implementation sites across all constraints."""
+        return self.definition_sites_per_constraint * len(CONSTRAINT_SPECS)
+
+
+def _average_trigger_sites() -> float:
+    """Average number of trigger sites per constraint in the workload."""
+    total = sum(len(spec.trigger_methods()) for spec in CONSTRAINT_SPECS)
+    return total / len(CONSTRAINT_SPECS)
+
+
+def profiles() -> dict[str, MaintainabilityProfile]:
+    """Maintainability profiles for the approach families of Chapter 2."""
+    sites = _average_trigger_sites()
+    return {
+        profile.approach: profile
+        for profile in (
+            # Handcrafted: the same constraint is re-implemented at every
+            # site that must check it (§2.2.2: "the same constraint might
+            # be implemented differently (and inconsistently) at several
+            # places").
+            MaintainabilityProfile(
+                "handcrafted",
+                definition_sites_per_constraint=sites,
+                tangled_with_business_code=True,
+                runtime_manageable=False,
+                regeneration_needed_on_change=False,
+                separate_artefact=False,
+            ),
+            # In-place generation keeps a single spec but injects copies
+            # of the checking code at every site (§2.2.3 code duplication)
+            # and requires re-generation after every change.
+            MaintainabilityProfile(
+                "inplace",
+                definition_sites_per_constraint=1.0,
+                tangled_with_business_code=True,
+                runtime_manageable=False,
+                regeneration_needed_on_change=True,
+                separate_artefact=True,
+            ),
+            MaintainabilityProfile(
+                "jml",
+                definition_sites_per_constraint=1.0,
+                tangled_with_business_code=False,
+                runtime_manageable=False,
+                regeneration_needed_on_change=True,
+                separate_artefact=True,
+            ),
+            MaintainabilityProfile(
+                "dresden-ocl",
+                definition_sites_per_constraint=1.0,
+                tangled_with_business_code=False,
+                runtime_manageable=False,
+                regeneration_needed_on_change=True,
+                separate_artefact=True,
+            ),
+            # Constraints encoded in aspects: separated, but pointcuts are
+            # strongly coupled to base-code signatures (§2.2.5) and
+            # changes require re-weaving.
+            MaintainabilityProfile(
+                "aspectj-interceptor",
+                definition_sites_per_constraint=1.0,
+                tangled_with_business_code=False,
+                runtime_manageable=False,
+                regeneration_needed_on_change=True,
+                separate_artefact=True,
+            ),
+            # Explicit constraint classes + repository: one definition,
+            # fully manageable at runtime (§2.2.6).
+            MaintainabilityProfile(
+                "repository",
+                definition_sites_per_constraint=1.0,
+                tangled_with_business_code=False,
+                runtime_manageable=True,
+                regeneration_needed_on_change=False,
+                separate_artefact=True,
+            ),
+            MaintainabilityProfile(
+                "adaptive-instrumentation",
+                definition_sites_per_constraint=1.0,
+                tangled_with_business_code=False,
+                runtime_manageable=True,
+                regeneration_needed_on_change=False,
+                separate_artefact=True,
+            ),
+        )
+    }
+
+
+def change_impact(approach: str, constraints_changed: int = 1) -> int:
+    """How many code sites a constraint change touches under an approach.
+
+    The §2.2 argument in one number: changing one constraint touches every
+    duplicated site for handcrafted code but exactly one artefact for
+    explicit constraint classes.
+    """
+    profile = profiles().get(approach)
+    if profile is None:
+        raise KeyError(f"unknown approach family {approach!r}")
+    import math
+
+    return int(math.ceil(profile.definition_sites_per_constraint * constraints_changed))

@@ -1,0 +1,417 @@
+"""A miniature OCL-like constraint expression language.
+
+The Dresden OCL toolkit and USE evaluate OCL constraints against live
+objects; this module provides the analogous substrate: a tokenizer, a
+recursive-descent parser producing an AST, and a tree-walking interpreter
+evaluating expressions against Python objects.  It is deliberately an
+*interpreter* — re-walking the AST on every validation is exactly the cost
+profile that puts interpretation-based tools at the slow end of the
+Chapter 2 comparison.
+
+Supported syntax (a practical OCL subset)::
+
+    self.attr                  attribute access
+    self.method()              niladic method call
+    collection->size()         collection size
+    collection->sum()          numeric sum
+    collection->isEmpty()      emptiness
+    collection->notEmpty()
+    collection->forAll(v | e)  universal quantification
+    collection->exists(v | e)  existential quantification
+    collection->includes(e)    membership
+    a + b, a - b, a * b, a / b arithmetic
+    <, <=, >, >=, =, <>        comparison
+    and, or, not, implies      boolean connectives
+    if c then a else b endif   conditional
+    1, 2.5, 'text', true, false literals
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+
+class OclError(ValueError):
+    """Raised for syntax or evaluation errors."""
+
+
+# ----------------------------------------------------------------------
+# tokenizer
+# ----------------------------------------------------------------------
+_KEYWORDS = {"and", "or", "not", "implies", "true", "false", "if", "then", "else", "endif"}
+_TWO_CHAR = {"<=", ">=", "<>", "->"}
+_ONE_CHAR = set("()<>=+-*/.|,")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "name", "number", "string", "op", "keyword", "end"
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if text[index : index + 2] in _TWO_CHAR:
+            tokens.append(Token("op", text[index : index + 2], index))
+            index += 2
+            continue
+        if char in _ONE_CHAR:
+            tokens.append(Token("op", char, index))
+            index += 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and (text[index].isdigit() or text[index] == "."):
+                index += 1
+            tokens.append(Token("number", text[start:index], start))
+            continue
+        if char == "'":
+            start = index
+            index += 1
+            while index < length and text[index] != "'":
+                index += 1
+            if index >= length:
+                raise OclError(f"unterminated string at {start}")
+            tokens.append(Token("string", text[start + 1 : index], start))
+            index += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            kind = "keyword" if word in _KEYWORDS else "name"
+            tokens.append(Token(kind, word, start))
+            continue
+        raise OclError(f"unexpected character {char!r} at {index}")
+    tokens.append(Token("end", "", length))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+class Node:
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    value: Any
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    name: str
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        if self.name not in env:
+            raise OclError(f"unknown name {self.name!r}")
+        return env[self.name]
+
+
+@dataclass(frozen=True)
+class Attribute(Node):
+    target: Node
+    name: str
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        return getattr(self.target.evaluate(env), self.name)
+
+
+@dataclass(frozen=True)
+class MethodCall(Node):
+    target: Node
+    name: str
+    arguments: tuple[Node, ...]
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        method = getattr(self.target.evaluate(env), self.name)
+        return method(*(argument.evaluate(env) for argument in self.arguments))
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    operator: str
+    operand: Node
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(env)
+        if self.operator == "not":
+            return not value
+        if self.operator == "-":
+            return -value
+        raise OclError(f"unknown unary operator {self.operator!r}")
+
+
+_BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    operator: str
+    left: Node
+    right: Node
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        if self.operator == "and":
+            return bool(self.left.evaluate(env)) and bool(self.right.evaluate(env))
+        if self.operator == "or":
+            return bool(self.left.evaluate(env)) or bool(self.right.evaluate(env))
+        if self.operator == "implies":
+            return (not self.left.evaluate(env)) or bool(self.right.evaluate(env))
+        return _BINARY_OPS[self.operator](self.left.evaluate(env), self.right.evaluate(env))
+
+
+@dataclass(frozen=True)
+class Conditional(Node):
+    condition: Node
+    then_branch: Node
+    else_branch: Node
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        if self.condition.evaluate(env):
+            return self.then_branch.evaluate(env)
+        return self.else_branch.evaluate(env)
+
+
+@dataclass(frozen=True)
+class CollectionOp(Node):
+    """``collection->op(...)`` operations."""
+
+    target: Node
+    operation: str
+    variable: str | None
+    body: Node | None
+    argument: Node | None
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        collection = self.target.evaluate(env)
+        if self.operation == "size":
+            return len(collection)
+        if self.operation == "isEmpty":
+            return len(collection) == 0
+        if self.operation == "notEmpty":
+            return len(collection) > 0
+        if self.operation == "sum":
+            return sum(collection)
+        if self.operation == "includes":
+            assert self.argument is not None
+            return self.argument.evaluate(env) in collection
+        if self.operation in ("forAll", "exists", "select", "collect", "reject"):
+            assert self.variable is not None and self.body is not None
+            scoped = dict(env)
+
+            def body_value(item: Any) -> Any:
+                scoped[self.variable] = item
+                return self.body.evaluate(scoped)
+
+            if self.operation == "forAll":
+                return all(bool(body_value(item)) for item in collection)
+            if self.operation == "exists":
+                return any(bool(body_value(item)) for item in collection)
+            if self.operation == "select":
+                return [item for item in collection if body_value(item)]
+            if self.operation == "reject":
+                return [item for item in collection if not body_value(item)]
+            return [body_value(item) for item in collection]
+        raise OclError(f"unknown collection operation {self.operation!r}")
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise OclError(
+                f"expected {value or kind} at {token.position}, got {token.value!r}"
+            )
+        return token
+
+    def parse(self) -> Node:
+        node = self._implies()
+        self._expect("end")
+        return node
+
+    def _implies(self) -> Node:
+        node = self._or()
+        while self._peek().kind == "keyword" and self._peek().value == "implies":
+            self._advance()
+            node = Binary("implies", node, self._or())
+        return node
+
+    def _or(self) -> Node:
+        node = self._and()
+        while self._peek().kind == "keyword" and self._peek().value == "or":
+            self._advance()
+            node = Binary("or", node, self._and())
+        return node
+
+    def _and(self) -> Node:
+        node = self._comparison()
+        while self._peek().kind == "keyword" and self._peek().value == "and":
+            self._advance()
+            node = Binary("and", node, self._comparison())
+        return node
+
+    def _comparison(self) -> Node:
+        node = self._additive()
+        while self._peek().kind == "op" and self._peek().value in ("<", "<=", ">", ">=", "=", "<>"):
+            operator = self._advance().value
+            node = Binary(operator, node, self._additive())
+        return node
+
+    def _additive(self) -> Node:
+        node = self._multiplicative()
+        while self._peek().kind == "op" and self._peek().value in ("+", "-"):
+            operator = self._advance().value
+            node = Binary(operator, node, self._multiplicative())
+        return node
+
+    def _multiplicative(self) -> Node:
+        node = self._unary()
+        while self._peek().kind == "op" and self._peek().value in ("*", "/"):
+            operator = self._advance().value
+            node = Binary(operator, node, self._unary())
+        return node
+
+    def _unary(self) -> Node:
+        token = self._peek()
+        if token.kind == "keyword" and token.value == "not":
+            self._advance()
+            return Unary("not", self._unary())
+        if token.kind == "op" and token.value == "-":
+            self._advance()
+            return Unary("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Node:
+        node = self._primary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value == ".":
+                self._advance()
+                name = self._expect("name").value
+                if self._peek().kind == "op" and self._peek().value == "(":
+                    self._advance()
+                    arguments: list[Node] = []
+                    if not (self._peek().kind == "op" and self._peek().value == ")"):
+                        arguments.append(self._implies())
+                        while self._peek().kind == "op" and self._peek().value == ",":
+                            self._advance()
+                            arguments.append(self._implies())
+                    self._expect("op", ")")
+                    node = MethodCall(node, name, tuple(arguments))
+                else:
+                    node = Attribute(node, name)
+                continue
+            if token.kind == "op" and token.value == "->":
+                self._advance()
+                operation = self._expect("name").value
+                self._expect("op", "(")
+                node = self._collection_op(node, operation)
+                continue
+            break
+        return node
+
+    def _collection_op(self, target: Node, operation: str) -> Node:
+        if operation in ("forAll", "exists", "select", "collect", "reject"):
+            variable = self._expect("name").value
+            self._expect("op", "|")
+            body = self._implies()
+            self._expect("op", ")")
+            return CollectionOp(target, operation, variable, body, None)
+        if operation == "includes":
+            argument = self._implies()
+            self._expect("op", ")")
+            return CollectionOp(target, operation, None, None, argument)
+        self._expect("op", ")")
+        return CollectionOp(target, operation, None, None, None)
+
+    def _primary(self) -> Node:
+        token = self._advance()
+        if token.kind == "number":
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "string":
+            return Literal(token.value)
+        if token.kind == "keyword" and token.value in ("true", "false"):
+            return Literal(token.value == "true")
+        if token.kind == "keyword" and token.value == "if":
+            condition = self._implies()
+            self._expect("keyword", "then")
+            then_branch = self._implies()
+            self._expect("keyword", "else")
+            else_branch = self._implies()
+            self._expect("keyword", "endif")
+            return Conditional(condition, then_branch, else_branch)
+        if token.kind == "name":
+            return Name(token.value)
+        if token.kind == "op" and token.value == "(":
+            node = self._implies()
+            self._expect("op", ")")
+            return node
+        raise OclError(f"unexpected token {token.value!r} at {token.position}")
+
+
+def parse(text: str) -> Node:
+    """Parse an OCL-like expression into an AST."""
+    return _Parser(tokenize(text)).parse()
+
+
+class OclExpression:
+    """A parsed, repeatedly-evaluable constraint expression."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._ast = parse(text)
+
+    def evaluate(self, **env: Any) -> Any:
+        return self._ast.evaluate(env)
+
+    def holds_for(self, obj: Any, **extra: Any) -> bool:
+        """Evaluate with ``self`` bound to ``obj``; result coerced to bool."""
+        env = {"self": obj}
+        env.update(extra)
+        return bool(self._ast.evaluate(env))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OclExpression({self.text!r})"

@@ -1,0 +1,465 @@
+"""Chapter-2 performance-study workload (§2.3).
+
+The application scenario is the management of projects and employees
+within a company: employees participate in projects and perform a certain
+amount of work on a daily basis, with restrictions such as a maximum
+workload per employee.  The scenario carries a mixture of preconditions,
+postconditions and invariant constraints — **78 in total**, matching the
+paper — declared once in :data:`CONSTRAINT_SPECS` and consumed by every
+validation approach so that all approaches check exactly the same
+constraints (§2.3.1 comparison conditions).
+
+Design notes:
+
+* The business classes are plain Python objects (Chapter 2 studies plain
+  Java applications, not EJB).
+* Public methods never call other public methods internally, so every
+  interception mechanism — including the dynamic proxy, which cannot see
+  internal self-calls (the Fig. 4.5 call-7 problem) — triggers exactly the
+  same checks.
+* Employees and projects compare by name (value identity), so membership
+  predicates behave identically whether the collections hold the raw
+  objects or proxy wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+# ----------------------------------------------------------------------
+# business classes (no constraint checks — the "No checks" baseline)
+# ----------------------------------------------------------------------
+class Employee:
+    """An employee with workload, salary, and project memberships."""
+
+    def __init__(
+        self,
+        name: str,
+        max_daily_hours: float = 10.0,
+        salary: float = 2500.0,
+        department: str = "engineering",
+    ) -> None:
+        self.name = name
+        self.max_daily_hours = max_daily_hours
+        self.salary = salary
+        self.department = department
+        self.projects: list["Project"] = []
+        self.hours_today = 0.0
+        self.total_hours = 0.0
+        self.vacation_days = 25
+        self.skill_level = 3
+        self.seniority = 2
+        self.bonus = 0.0
+        self.overtime = 0.0
+
+    def __eq__(self, other: object) -> bool:
+        # Value identity by name, duck-typed so proxy wrappers compare
+        # equal to their targets; ``max_daily_hours`` distinguishes
+        # employees from projects.
+        return (
+            getattr(other, "name", None) == self.name
+            and hasattr(other, "max_daily_hours")
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Employee", self.name))
+
+    # -- public business methods ---------------------------------------
+    def log_work(self, project: "Project", hours: float) -> float:
+        self.hours_today += hours
+        self.total_hours += hours
+        project.labour_hours += hours
+        return self.hours_today
+
+    def raise_salary(self, amount: float) -> float:
+        self.salary += amount
+        return self.salary
+
+    def grant_bonus(self, amount: float) -> float:
+        self.bonus += amount
+        return self.bonus
+
+    def take_vacation(self, days: int) -> int:
+        self.vacation_days -= days
+        return self.vacation_days
+
+    def reset_day(self) -> None:
+        self.hours_today = 0.0
+
+    def promote(self) -> int:
+        self.seniority += 1
+        self.skill_level = min(10, self.skill_level + 1)
+        return self.seniority
+
+
+class Project:
+    """A project with a budget, members, and task tracking."""
+
+    def __init__(
+        self,
+        name: str,
+        budget: float = 100000.0,
+        max_members: int = 10,
+    ) -> None:
+        self.name = name
+        self.budget = budget
+        self.max_members = max_members
+        self.members: list[Employee] = []
+        self.cost = 0.0
+        self.labour_hours = 0.0
+        self.total_tasks = 0
+        self.completed_tasks = 0
+        self.priority = 3
+        self.risk = 0.2
+
+    def __eq__(self, other: object) -> bool:
+        # Value identity by name; ``budget`` distinguishes projects from
+        # employees (see Employee.__eq__).
+        return (
+            getattr(other, "name", None) == self.name
+            and hasattr(other, "budget")
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Project", self.name))
+
+    # -- public business methods ---------------------------------------
+    def add_member(self, employee: Employee) -> int:
+        # Membership is maintained from the project side only; the
+        # employee's back-reference is written directly so no nested
+        # public-method call occurs (see module docstring).
+        self.members.append(employee)
+        employee.projects.append(self)
+        return len(self.members)
+
+    def remove_member(self, employee: Employee) -> int:
+        self.members.remove(employee)
+        employee.projects.remove(self)
+        return len(self.members)
+
+    def charge(self, amount: float) -> float:
+        self.cost += amount
+        return self.cost
+
+    def plan_task(self) -> int:
+        self.total_tasks += 1
+        return self.total_tasks
+
+    def complete_task(self) -> int:
+        self.completed_tasks += 1
+        return self.completed_tasks
+
+    def reprioritize(self, priority: int) -> int:
+        self.priority = priority
+        return self.priority
+
+
+#: Public methods per class — invariants are checked before and after each
+#: of these (§2.1 comparison conditions).
+PUBLIC_METHODS: dict[str, tuple[str, ...]] = {
+    "Employee": (
+        "log_work",
+        "raise_salary",
+        "grant_bonus",
+        "take_vacation",
+        "reset_day",
+        "promote",
+    ),
+    "Project": (
+        "add_member",
+        "remove_member",
+        "charge",
+        "plan_task",
+        "complete_task",
+        "reprioritize",
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# constraint specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """One integrity constraint, in every representation the study needs.
+
+    * ``expr`` — a Python expression over ``obj`` (and for pre/post also
+      ``args``, ``result``, ``pre``); compiled by the code-generating
+      approaches and evaluated by the repository approaches.
+    * ``ocl`` — the same predicate in the mini-OCL language, interpreted
+      by the Dresden-OCL-analogue approach (invariants only; a few
+      collection predicates use documented surrogates where the OCL
+      subset lacks the operator).
+    * ``pre_expr`` — for postconditions, the Python expression snapshotting
+      the ``@pre`` value before the invocation.
+    """
+
+    name: str
+    kind: str                     # "pre" | "post" | "inv"
+    cls: str                      # "Employee" | "Project"
+    methods: tuple[str, ...]      # trigger methods; ("*",) = all public
+    expr: str
+    ocl: str | None = None
+    pre_expr: str | None = None
+
+    def trigger_methods(self) -> tuple[str, ...]:
+        if self.methods == ("*",):
+            return PUBLIC_METHODS[self.cls]
+        return self.methods
+
+
+def _invariant(name: str, cls: str, expr: str, ocl: str) -> ConstraintSpec:
+    return ConstraintSpec(name, "inv", cls, ("*",), expr, ocl)
+
+
+def _pre(name: str, cls: str, method: str, expr: str) -> ConstraintSpec:
+    return ConstraintSpec(name, "pre", cls, (method,), expr)
+
+
+def _post(name: str, cls: str, method: str, expr: str, pre_expr: str) -> ConstraintSpec:
+    return ConstraintSpec(name, "post", cls, (method,), expr, pre_expr=pre_expr)
+
+
+def _build_specs() -> tuple[ConstraintSpec, ...]:
+    specs: list[ConstraintSpec] = []
+
+    # -- Employee invariants (25) ---------------------------------------
+    specs += [
+        _invariant("EmpHoursNonNegative", "Employee", "obj.hours_today >= 0",
+                   "self.hours_today >= 0"),
+        _invariant("EmpDailyWorkload", "Employee",
+                   "obj.hours_today <= obj.max_daily_hours",
+                   "self.hours_today <= self.max_daily_hours"),
+        _invariant("EmpTotalAtLeastToday", "Employee",
+                   "obj.total_hours >= obj.hours_today",
+                   "self.total_hours >= self.hours_today"),
+        _invariant("EmpSalaryPositive", "Employee", "obj.salary > 0",
+                   "self.salary > 0"),
+        _invariant("EmpSalaryCap", "Employee", "obj.salary <= 50000",
+                   "self.salary <= 50000"),
+        _invariant("EmpProjectLimit", "Employee", "len(obj.projects) <= 5",
+                   "self.projects->size() <= 5"),
+        _invariant("EmpNameNotEmpty", "Employee", "obj.name != ''",
+                   "self.name <> ''"),
+        _invariant("EmpMaxHoursPositive", "Employee", "obj.max_daily_hours > 0",
+                   "self.max_daily_hours > 0"),
+        _invariant("EmpMaxHoursHumane", "Employee", "obj.max_daily_hours <= 16",
+                   "self.max_daily_hours <= 16"),
+        _invariant("EmpVacationNonNegative", "Employee", "obj.vacation_days >= 0",
+                   "self.vacation_days >= 0"),
+        _invariant("EmpVacationCap", "Employee", "obj.vacation_days <= 60",
+                   "self.vacation_days <= 60"),
+        _invariant("EmpSkillFloor", "Employee", "obj.skill_level >= 1",
+                   "self.skill_level >= 1"),
+        _invariant("EmpSkillCeiling", "Employee", "obj.skill_level <= 10",
+                   "self.skill_level <= 10"),
+        _invariant("EmpTotalNonNegative", "Employee", "obj.total_hours >= 0",
+                   "self.total_hours >= 0"),
+        _invariant("EmpSeniorityNonNegative", "Employee", "obj.seniority >= 0",
+                   "self.seniority >= 0"),
+        _invariant("EmpSeniorityCap", "Employee", "obj.seniority <= 50",
+                   "self.seniority <= 50"),
+        _invariant("EmpBonusNonNegative", "Employee", "obj.bonus >= 0",
+                   "self.bonus >= 0"),
+        _invariant("EmpBonusBelowSalary", "Employee", "obj.bonus <= obj.salary",
+                   "self.bonus <= self.salary"),
+        _invariant("EmpOvertimeNonNegative", "Employee", "obj.overtime >= 0",
+                   "self.overtime >= 0"),
+        _invariant("EmpOvertimeCap", "Employee", "obj.overtime <= 400",
+                   "self.overtime <= 400"),
+        _invariant("EmpDepartmentSet", "Employee", "obj.department != ''",
+                   "self.department <> ''"),
+        _invariant("EmpCompensationCap", "Employee",
+                   "obj.salary + obj.bonus <= 60000",
+                   "self.salary + self.bonus <= 60000"),
+        _invariant("EmpProjectsDistinct", "Employee",
+                   "len({p.name for p in obj.projects}) == len(obj.projects)",
+                   "self.projects->forAll(p | p.name <> '')"),
+        _invariant("EmpMembershipMutual", "Employee",
+                   "all(obj in p.members for p in obj.projects)",
+                   "self.projects->forAll(p | p.members->includes(self))"),
+        _invariant("EmpDayWithin24", "Employee", "obj.hours_today <= 24",
+                   "self.hours_today <= 24"),
+    ]
+
+    # -- Project invariants (18) -----------------------------------------
+    specs += [
+        _invariant("ProjCostNonNegative", "Project", "obj.cost >= 0",
+                   "self.cost >= 0"),
+        _invariant("ProjWithinBudget", "Project", "obj.cost <= obj.budget",
+                   "self.cost <= self.budget"),
+        _invariant("ProjBudgetPositive", "Project", "obj.budget > 0",
+                   "self.budget > 0"),
+        _invariant("ProjMemberLimit", "Project",
+                   "len(obj.members) <= obj.max_members",
+                   "self.members->size() <= self.max_members"),
+        _invariant("ProjNameNotEmpty", "Project", "obj.name != ''",
+                   "self.name <> ''"),
+        _invariant("ProjMaxMembersPositive", "Project", "obj.max_members >= 1",
+                   "self.max_members >= 1"),
+        _invariant("ProjMembersDistinct", "Project",
+                   "len({m.name for m in obj.members}) == len(obj.members)",
+                   "self.members->forAll(m | m.name <> '')"),
+        _invariant("ProjPriorityFloor", "Project", "obj.priority >= 1",
+                   "self.priority >= 1"),
+        _invariant("ProjPriorityCeiling", "Project", "obj.priority <= 5",
+                   "self.priority <= 5"),
+        _invariant("ProjTasksConsistent", "Project",
+                   "obj.completed_tasks <= obj.total_tasks",
+                   "self.completed_tasks <= self.total_tasks"),
+        _invariant("ProjTasksNonNegative", "Project", "obj.total_tasks >= 0",
+                   "self.total_tasks >= 0"),
+        _invariant("ProjCompletedNonNegative", "Project",
+                   "obj.completed_tasks >= 0", "self.completed_tasks >= 0"),
+        _invariant("ProjRiskFloor", "Project", "obj.risk >= 0",
+                   "self.risk >= 0"),
+        _invariant("ProjRiskCeiling", "Project", "obj.risk <= 1",
+                   "self.risk <= 1"),
+        _invariant("ProjLabourNonNegative", "Project", "obj.labour_hours >= 0",
+                   "self.labour_hours >= 0"),
+        _invariant("ProjMembershipMutual", "Project",
+                   "all(obj in m.projects for m in obj.members)",
+                   "self.members->forAll(m | m.projects->includes(self))"),
+        _invariant("ProjMembersWithinWorkload", "Project",
+                   "all(m.hours_today <= m.max_daily_hours for m in obj.members)",
+                   "self.members->forAll(m | m.hours_today <= m.max_daily_hours)"),
+        _invariant("ProjBudgetCap", "Project", "obj.budget <= 10000000",
+                   "self.budget <= 10000000"),
+    ]
+
+    # -- preconditions (20) ------------------------------------------------
+    specs += [
+        _pre("PreLogWorkPositive", "Employee", "log_work", "args[1] > 0"),
+        _pre("PreLogWorkBounded", "Employee", "log_work", "args[1] <= 16"),
+        _pre("PreLogWorkProjectSet", "Employee", "log_work", "args[0] is not None"),
+        _pre("PreLogWorkAssigned", "Employee", "log_work", "args[0] in obj.projects"),
+        _pre("PreLogWorkFits", "Employee", "log_work",
+             "obj.hours_today + args[1] <= obj.max_daily_hours"),
+        _pre("PreRaiseNonNegative", "Employee", "raise_salary", "args[0] >= 0"),
+        _pre("PreRaiseBounded", "Employee", "raise_salary", "args[0] <= 10000"),
+        _pre("PreBonusNonNegative", "Employee", "grant_bonus", "args[0] >= 0"),
+        _pre("PreBonusWithinSalary", "Employee", "grant_bonus",
+             "obj.bonus + args[0] <= obj.salary"),
+        _pre("PreVacationPositive", "Employee", "take_vacation", "args[0] > 0"),
+        _pre("PreVacationAvailable", "Employee", "take_vacation",
+             "args[0] <= obj.vacation_days"),
+        _pre("PrePromoteBelowCap", "Employee", "promote", "obj.seniority < 50"),
+        _pre("PreChargeNonNegative", "Project", "charge", "args[0] >= 0"),
+        _pre("PreChargeWithinBudget", "Project", "charge",
+             "obj.cost + args[0] <= obj.budget"),
+        _pre("PreAddMemberNotNull", "Project", "add_member", "args[0] is not None"),
+        _pre("PreAddMemberNew", "Project", "add_member", "args[0] not in obj.members"),
+        _pre("PreAddMemberCapacity", "Project", "add_member",
+             "len(obj.members) < obj.max_members"),
+        _pre("PreRemoveMemberKnown", "Project", "remove_member",
+             "args[0] in obj.members"),
+        _pre("PreCompleteTaskOpen", "Project", "complete_task",
+             "obj.completed_tasks < obj.total_tasks"),
+        _pre("PreReprioritizeRange", "Project", "reprioritize",
+             "1 <= args[0] <= 5"),
+    ]
+
+    # -- postconditions (15) -------------------------------------------------
+    specs += [
+        _post("PostLogWorkTotal", "Employee", "log_work",
+              "obj.total_hours == pre + args[1]", "obj.total_hours"),
+        _post("PostLogWorkToday", "Employee", "log_work",
+              "obj.hours_today == pre + args[1]", "obj.hours_today"),
+        _post("PostLogWorkResult", "Employee", "log_work",
+              "result == obj.hours_today", "None"),
+        _post("PostRaiseSalary", "Employee", "raise_salary",
+              "obj.salary == pre + args[0]", "obj.salary"),
+        _post("PostGrantBonus", "Employee", "grant_bonus",
+              "obj.bonus == pre + args[0]", "obj.bonus"),
+        _post("PostVacationDebited", "Employee", "take_vacation",
+              "obj.vacation_days == pre - args[0]", "obj.vacation_days"),
+        _post("PostResetDay", "Employee", "reset_day",
+              "obj.hours_today == 0", "None"),
+        _post("PostPromoteSeniority", "Employee", "promote",
+              "obj.seniority == pre + 1", "obj.seniority"),
+        _post("PostChargeCost", "Project", "charge",
+              "obj.cost == pre + args[0]", "obj.cost"),
+        _post("PostAddMemberCount", "Project", "add_member",
+              "len(obj.members) == pre + 1", "len(obj.members)"),
+        _post("PostAddMemberMutual", "Project", "add_member",
+              "obj in args[0].projects", "None"),
+        _post("PostRemoveMemberCount", "Project", "remove_member",
+              "len(obj.members) == pre - 1", "len(obj.members)"),
+        _post("PostPlanTask", "Project", "plan_task",
+              "obj.total_tasks == pre + 1", "obj.total_tasks"),
+        _post("PostCompleteTask", "Project", "complete_task",
+              "obj.completed_tasks == pre + 1", "obj.completed_tasks"),
+        _post("PostReprioritize", "Project", "reprioritize",
+              "obj.priority == args[0]", "None"),
+    ]
+
+    return tuple(specs)
+
+
+#: All 78 constraints of the study.
+CONSTRAINT_SPECS: tuple[ConstraintSpec, ...] = _build_specs()
+
+assert len(CONSTRAINT_SPECS) == 78, f"expected 78 constraints, got {len(CONSTRAINT_SPECS)}"
+
+INVARIANT_SPECS = tuple(spec for spec in CONSTRAINT_SPECS if spec.kind == "inv")
+PRECONDITION_SPECS = tuple(spec for spec in CONSTRAINT_SPECS if spec.kind == "pre")
+POSTCONDITION_SPECS = tuple(spec for spec in CONSTRAINT_SPECS if spec.kind == "post")
+
+
+# ----------------------------------------------------------------------
+# the measured use-case scenario (§2.3.2)
+# ----------------------------------------------------------------------
+def run_scenario(
+    make_employee: Callable[..., Any],
+    make_project: Callable[..., Any],
+) -> dict[str, Any]:
+    """One run of the example scenario; never violates any constraint.
+
+    Factories allow each validation approach to substitute its own
+    instrumented classes while the business sequence stays identical.
+    """
+    alice = make_employee("Alice", 10.0, 4800.0)
+    bob = make_employee("Bob", 8.0, 3900.0)
+    carol = make_employee("Carol", 12.0, 5200.0)
+    dave = make_employee("Dave", 10.0, 3100.0)
+    apollo = make_project("Apollo", 120000.0, 4)
+    hermes = make_project("Hermes", 80000.0, 3)
+    zeus = make_project("Zeus", 200000.0, 6)
+
+    apollo.add_member(alice)
+    apollo.add_member(bob)
+    hermes.add_member(carol)
+    zeus.add_member(dave)
+    zeus.add_member(alice)
+
+    for _day in range(3):
+        alice.log_work(apollo, 4.0)
+        alice.log_work(zeus, 3.0)
+        bob.log_work(apollo, 6.0)
+        carol.log_work(hermes, 7.5)
+        dave.log_work(zeus, 5.0)
+        apollo.charge(1500.0)
+        hermes.charge(900.0)
+        zeus.charge(2400.0)
+        apollo.plan_task()
+        apollo.plan_task()
+        apollo.complete_task()
+        zeus.plan_task()
+        zeus.complete_task()
+        for employee in (alice, bob, carol, dave):
+            employee.reset_day()
+
+    alice.raise_salary(200.0)
+    bob.grant_bonus(500.0)
+    carol.take_vacation(2)
+    dave.promote()
+    hermes.reprioritize(2)
+    apollo.remove_member(bob)
+    apollo.add_member(dave)
+
+    return {
+        "employees": (alice, bob, carol, dave),
+        "projects": (apollo, hermes, zeus),
+    }

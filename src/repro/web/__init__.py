@@ -1,0 +1,15 @@
+"""Web-application callback support (§4.5, Fig. 4.8)."""
+
+from .callbacks import (
+    DeferredWebReconciliationHandler,
+    WebNegotiationBridge,
+    WebResponse,
+    WebServer,
+)
+
+__all__ = [
+    "DeferredWebReconciliationHandler",
+    "WebNegotiationBridge",
+    "WebResponse",
+    "WebServer",
+]

@@ -1,0 +1,194 @@
+"""Negotiation callbacks in Web applications (§4.5, Fig. 4.8).
+
+HTTP's strict request/response behaviour makes a middleware→browser
+callback impossible: while a business request is being processed, the
+browser is *waiting* for the response.  The solution of the dissertation:
+
+1. The negotiation request from the middleware is intercepted by the Web
+   application's negotiation logic, which **blocks the negotiation
+   thread** and forwards the question to the browser *as the HTTP response
+   of the business request*.
+2. The user's decision arrives as a **new HTTP request**, which is mapped
+   back to the blocked negotiation thread, parameters are set, and the
+   thread resumes.  That new request is then suspended until the business
+   result (or the next negotiation question) is available and is answered
+   with it.
+3. A timeout resumes the negotiation thread with *reject* so it can never
+   block indefinitely.
+
+The reconciliation callback cannot be tunnelled this way (no business
+request is outstanding); Web applications use deferred reconciliation
+instead, recording the inconsistency and notifying an operator (§4.5) —
+provided here as :class:`DeferredWebReconciliationHandler`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core import (
+    Constraint,
+    ConstraintValidationContext,
+    NegotiationDecision,
+)
+from ..core.reconciliation import ConstraintViolationReport
+from ..core.threats import ConsistencyThreat
+
+
+@dataclass(frozen=True)
+class WebResponse:
+    """What the browser receives for one HTTP request."""
+
+    kind: str  # "result", "negotiation-request", or "error"
+    body: Any = None
+    token: int | None = None
+
+
+@dataclass
+class _PendingNegotiation:
+    token: int
+    constraint_name: str
+    threat: ConsistencyThreat
+    decision_event: threading.Event = field(default_factory=threading.Event)
+    accepted: bool = False
+
+
+class WebNegotiationBridge:
+    """The Web application's negotiation logic (one browser session).
+
+    Acts as the dynamic negotiation handler registered with the business
+    transaction.  ``negotiate`` runs on the request-processing (worker)
+    thread; it hands the question to the browser-facing side and blocks
+    until the decision arrives or the timeout fires.
+    """
+
+    def __init__(self, timeout: float = 30.0) -> None:
+        self.timeout = timeout
+        self._tokens = itertools.count(1)
+        # Messages to the browser: negotiation questions or the final
+        # business result, delivered as HTTP responses.
+        self._to_browser: "queue.Queue[WebResponse]" = queue.Queue()
+        self._pending: dict[int, _PendingNegotiation] = {}
+        self.timed_out: list[int] = []
+
+    # -- middleware side (worker thread) --------------------------------
+    def negotiate(
+        self,
+        constraint: Constraint,
+        threat: ConsistencyThreat,
+        ctx: ConstraintValidationContext,
+    ) -> NegotiationDecision:
+        pending = _PendingNegotiation(
+            next(self._tokens), constraint.name, threat
+        )
+        self._pending[pending.token] = pending
+        self._to_browser.put(
+            WebResponse(
+                "negotiation-request",
+                {
+                    "constraint": constraint.name,
+                    "degree": threat.degree.name,
+                    "affected": [str(ref) for ref in threat.affected_refs],
+                },
+                token=pending.token,
+            )
+        )
+        # Block the negotiation thread until the browser answers (§4.5);
+        # a timeout resumes it by not accepting the threat.
+        if not pending.decision_event.wait(self.timeout):
+            self.timed_out.append(pending.token)
+            del self._pending[pending.token]
+            return NegotiationDecision.REJECT
+        del self._pending[pending.token]
+        return (
+            NegotiationDecision.ACCEPT if pending.accepted else NegotiationDecision.REJECT
+        )
+
+    def deliver_result(self, body: Any) -> None:
+        """Called by the worker when the business operation finished."""
+        self._to_browser.put(WebResponse("result", body))
+
+    def deliver_error(self, error: BaseException) -> None:
+        self._to_browser.put(WebResponse("error", str(error)))
+
+    # -- browser side ----------------------------------------------------
+    def next_response(self, timeout: float = 30.0) -> WebResponse:
+        """The HTTP response for the currently outstanding request."""
+        return self._to_browser.get(timeout=timeout)
+
+    def answer(self, token: int, accept: bool) -> None:
+        """The new HTTP request carrying the negotiation decision."""
+        pending = self._pending.get(token)
+        if pending is None:
+            raise KeyError(f"no pending negotiation {token}")
+        pending.accepted = accept
+        pending.decision_event.set()
+
+
+class WebServer:
+    """A minimal Web front-end driving business operations on a worker
+    thread so the Fig. 4.8 protocol can be exercised end to end."""
+
+    def __init__(self, timeout: float = 30.0) -> None:
+        self.timeout = timeout
+        self.bridge = WebNegotiationBridge(timeout)
+        self._worker: threading.Thread | None = None
+
+    def submit(self, business: Callable[[WebNegotiationBridge], Any]) -> WebResponse:
+        """The browser's business request.
+
+        Starts the business operation on a worker thread (with the bridge
+        registered as its negotiation handler) and returns the first HTTP
+        response — the business result, or a negotiation question.
+        """
+        if self._worker is not None and self._worker.is_alive():
+            raise RuntimeError("a business request is already being processed")
+
+        def run() -> None:
+            try:
+                result = business(self.bridge)
+            except BaseException as exc:  # noqa: BLE001 - surfaced to browser
+                self.bridge.deliver_error(exc)
+            else:
+                self.bridge.deliver_result(result)
+
+        self._worker = threading.Thread(target=run, daemon=True)
+        self._worker.start()
+        return self.bridge.next_response(self.timeout)
+
+    def respond_to_negotiation(self, token: int, accept: bool) -> WebResponse:
+        """The browser's decision request; suspended until the business
+        result (or the next negotiation question) is available."""
+        self.bridge.answer(token, accept)
+        return self.bridge.next_response(self.timeout)
+
+    def join(self, timeout: float = 10.0) -> None:
+        if self._worker is not None:
+            self._worker.join(timeout)
+
+
+class DeferredWebReconciliationHandler:
+    """Constraint reconciliation for Web applications (§4.5).
+
+    A callback into a browser is impossible, so the handler takes note of
+    the inconsistency (here: an operator notification log standing in for
+    the database entry / e-mail of the paper) and returns ``False`` —
+    deferred reconciliation under the application's responsibility.
+    """
+
+    def __init__(self) -> None:
+        self.notifications: list[dict[str, Any]] = []
+
+    def __call__(self, violation: ConstraintViolationReport) -> bool:
+        self.notifications.append(
+            {
+                "constraint": violation.threat.constraint_name,
+                "context": str(violation.context_ref) if violation.context_ref else None,
+                "had_replica_conflict": violation.had_replica_conflict,
+            }
+        )
+        return False

@@ -1,0 +1,93 @@
+"""Tests for the availability-study harness."""
+
+import pytest
+
+from repro.evaluation import (
+    CONFIGURATIONS,
+    compare_configurations,
+    run_availability_study,
+)
+from repro.evaluation.availability import _random_partition
+import random
+
+
+class TestSingleRuns:
+    def test_counts_are_consistent(self):
+        result = run_availability_study("p4", operations=100)
+        assert result.attempted == 100
+        assert result.served + result.blocked == result.attempted
+        assert result.reads_served + result.writes_served == result.served
+        assert result.reads_blocked + result.writes_blocked == result.blocked
+
+    def test_p4_serves_everything(self):
+        result = run_availability_study("p4", operations=120)
+        assert result.availability == 1.0
+        assert result.threats_accepted > 0
+
+    def test_no_replication_blocks_remote_access(self):
+        result = run_availability_study("no-replication", operations=120)
+        assert result.blocked > 0
+        assert result.threats_accepted == 0
+        assert result.reconciliation_seconds == 0.0
+
+    def test_primary_partition_blocks_minority_writes(self):
+        result = run_availability_study(
+            "primary-partition", operations=200, read_ratio=0.5
+        )
+        assert result.read_availability == 1.0
+        assert result.write_availability < 1.0
+
+    def test_deterministic_for_same_seed(self):
+        first = run_availability_study("p4", operations=80, seed=11)
+        second = run_availability_study("p4", operations=80, seed=11)
+        assert first.served == second.served
+        assert first.simulated_seconds == second.simulated_seconds
+
+    def test_different_seed_changes_workload(self):
+        first = run_availability_study("no-replication", operations=80, seed=1)
+        second = run_availability_study("no-replication", operations=80, seed=2)
+        assert (first.served, first.blocked) != (second.served, second.blocked)
+
+    def test_invalid_read_ratio(self):
+        with pytest.raises(ValueError):
+            run_availability_study("p4", read_ratio=1.5)
+
+    def test_healthy_only_run_fully_available(self):
+        result = run_availability_study(
+            "no-replication", operations=60, degraded_fraction=0.0
+        )
+        assert result.availability == 1.0
+
+    def test_single_node_never_partitions(self):
+        result = run_availability_study("p4", nodes=1, operations=60)
+        assert result.availability == 1.0
+        assert result.threats_accepted == 0
+
+
+class TestComparison:
+    def test_all_configurations_run(self):
+        results = compare_configurations(operations=80)
+        assert set(results) == set(CONFIGURATIONS)
+
+    def test_availability_ordering(self):
+        results = compare_configurations(operations=200)
+        assert (
+            results["no-replication"].availability
+            < results["primary-partition"].availability
+            <= results["p4"].availability
+        )
+
+    def test_throughput_cost_ordering(self):
+        results = compare_configurations(operations=200)
+        assert results["no-replication"].throughput > results["p4"].throughput
+
+
+class TestRandomPartition:
+    def test_two_nonempty_groups(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            groups = _random_partition(rng, ["a", "b", "c", "d"])
+            assert len(groups) == 2
+            assert all(groups)
+            assert groups[0] | groups[1] == {"a", "b", "c", "d"}
+            assert not groups[0] & groups[1]

@@ -1,0 +1,55 @@
+"""Tests for the Appendix-A consistency-management model registry."""
+
+import pytest
+
+from repro.core.consistency_model import (
+    CONSISTENCY_MODEL,
+    Requirement,
+    RequirementKind,
+    requirements,
+    resolve_mechanism,
+)
+
+
+class TestModelShape:
+    def test_has_functional_and_cross_cutting_requirements(self):
+        functional = requirements(RequirementKind.FUNCTIONAL)
+        cross_cutting = requirements(RequirementKind.CROSS_CUTTING)
+        assert len(functional) >= 5
+        assert len(cross_cutting) >= 3
+        assert len(functional) + len(cross_cutting) == len(CONSISTENCY_MODEL)
+
+    def test_identifiers_unique(self):
+        identifiers = [item.identifier for item in CONSISTENCY_MODEL]
+        assert len(set(identifiers)) == len(identifiers)
+
+    def test_every_requirement_has_mechanisms(self):
+        for item in CONSISTENCY_MODEL:
+            assert item.mechanisms, item.identifier
+            assert item.statement
+
+    def test_unfiltered_returns_all(self):
+        assert requirements() == CONSISTENCY_MODEL
+
+
+@pytest.mark.parametrize(
+    "reference",
+    sorted({ref for item in CONSISTENCY_MODEL for ref in item.mechanisms}),
+)
+def test_mechanism_references_resolve(reference):
+    """Every mechanism named by the model must actually exist."""
+    target = resolve_mechanism(reference)
+    assert target is not None
+
+
+def test_resolve_rejects_unknown():
+    with pytest.raises((ImportError, AttributeError)):
+        resolve_mechanism("core.nonexistent.Thing")
+
+
+def test_lifecycle_coverage():
+    """The functional requirements cover the full inconsistency lifecycle:
+    specify -> detect -> tolerate -> record -> resolve -> notify."""
+    identifiers = [item.identifier for item in requirements(RequirementKind.FUNCTIONAL)]
+    for stage in ("specify", "detect", "tolerate", "record", "resolve", "notify"):
+        assert any(stage in identifier for identifier in identifiers), stage

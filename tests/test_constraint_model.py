@@ -1,0 +1,213 @@
+"""Tests for the constraint model: satisfaction lattice, constraint
+classes, validation contexts, freshness criteria."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Constraint,
+    ConstraintPriority,
+    ConstraintScope,
+    ConstraintType,
+    ConstraintUncheckable,
+    ConstraintValidationContext,
+    FreshnessCriterion,
+    PredicateConstraint,
+    SatisfactionDegree,
+)
+from repro.objects import Entity
+
+DEGREES = list(SatisfactionDegree)
+
+
+class Thing(Entity):
+    fields = {"value": 0}
+
+
+class TestSatisfactionDegreeLattice:
+    def test_paper_ordering(self):
+        # violated < uncheckable < possibly violated < possibly satisfied
+        # < satisfied (§4.2.2)
+        assert (
+            SatisfactionDegree.VIOLATED
+            < SatisfactionDegree.UNCHECKABLE
+            < SatisfactionDegree.POSSIBLY_VIOLATED
+            < SatisfactionDegree.POSSIBLY_SATISFIED
+            < SatisfactionDegree.SATISFIED
+        )
+
+    def test_threat_classification(self):
+        assert SatisfactionDegree.POSSIBLY_SATISFIED.is_threat
+        assert SatisfactionDegree.POSSIBLY_VIOLATED.is_threat
+        assert SatisfactionDegree.UNCHECKABLE.is_threat
+        assert not SatisfactionDegree.SATISFIED.is_threat
+        assert not SatisfactionDegree.VIOLATED.is_threat
+
+    def test_combine_empty_is_satisfied(self):
+        assert SatisfactionDegree.combine([]) is SatisfactionDegree.SATISFIED
+
+    def test_combine_all_satisfied(self):
+        degrees = [SatisfactionDegree.SATISFIED] * 3
+        assert SatisfactionDegree.combine(degrees) is SatisfactionDegree.SATISFIED
+
+    def test_combine_possibly_satisfied(self):
+        degrees = [SatisfactionDegree.SATISFIED, SatisfactionDegree.POSSIBLY_SATISFIED]
+        assert SatisfactionDegree.combine(degrees) is SatisfactionDegree.POSSIBLY_SATISFIED
+
+    def test_combine_possibly_violated_dominates_possibly_satisfied(self):
+        degrees = [
+            SatisfactionDegree.POSSIBLY_SATISFIED,
+            SatisfactionDegree.POSSIBLY_VIOLATED,
+            SatisfactionDegree.SATISFIED,
+        ]
+        assert SatisfactionDegree.combine(degrees) is SatisfactionDegree.POSSIBLY_VIOLATED
+
+    def test_combine_uncheckable_unless_violated(self):
+        degrees = [SatisfactionDegree.UNCHECKABLE, SatisfactionDegree.POSSIBLY_VIOLATED]
+        assert SatisfactionDegree.combine(degrees) is SatisfactionDegree.UNCHECKABLE
+
+    def test_combine_violated_dominates_everything(self):
+        degrees = [SatisfactionDegree.UNCHECKABLE, SatisfactionDegree.VIOLATED]
+        assert SatisfactionDegree.combine(degrees) is SatisfactionDegree.VIOLATED
+
+    @given(st.lists(st.sampled_from(DEGREES), min_size=1, max_size=10))
+    def test_combine_is_minimum(self, degrees):
+        """Property: the §3.1 combination rules equal the lattice minimum."""
+        combined = SatisfactionDegree.combine(degrees)
+        assert combined is min(degrees)
+
+    @given(
+        st.lists(st.sampled_from(DEGREES), min_size=1, max_size=6),
+        st.lists(st.sampled_from(DEGREES), min_size=1, max_size=6),
+    )
+    def test_combine_is_associative(self, first, second):
+        together = SatisfactionDegree.combine(first + second)
+        pairwise = SatisfactionDegree.combine(
+            [SatisfactionDegree.combine(first), SatisfactionDegree.combine(second)]
+        )
+        assert together is pairwise
+
+    @given(st.lists(st.sampled_from(DEGREES), min_size=1, max_size=10))
+    def test_combine_rules_match_paper_text(self, degrees):
+        """Property: the explicit §3.1 case analysis holds."""
+        combined = SatisfactionDegree.combine(degrees)
+        if SatisfactionDegree.VIOLATED in degrees:
+            assert combined is SatisfactionDegree.VIOLATED
+        elif SatisfactionDegree.UNCHECKABLE in degrees:
+            assert combined is SatisfactionDegree.UNCHECKABLE
+        elif SatisfactionDegree.POSSIBLY_VIOLATED in degrees:
+            assert combined is SatisfactionDegree.POSSIBLY_VIOLATED
+        elif SatisfactionDegree.POSSIBLY_SATISFIED in degrees:
+            assert combined is SatisfactionDegree.POSSIBLY_SATISFIED
+        else:
+            assert combined is SatisfactionDegree.SATISFIED
+
+
+class TestConstraintBasics:
+    def test_name_defaults_to_class_name(self):
+        class MyConstraint(Constraint):
+            def validate(self, ctx):
+                return True
+
+        assert MyConstraint().name == "MyConstraint"
+
+    def test_explicit_name(self):
+        class MyConstraint(Constraint):
+            def validate(self, ctx):
+                return True
+
+        assert MyConstraint("custom").name == "custom"
+
+    def test_tradeable_classification(self):
+        constraint = PredicateConstraint(
+            "c", lambda ctx: True, priority=ConstraintPriority.RELAXABLE
+        )
+        assert constraint.is_tradeable()
+        critical = PredicateConstraint("c2", lambda ctx: True)
+        assert not critical.is_tradeable()
+
+    def test_predicate_constraint_validates(self):
+        constraint = PredicateConstraint("c", lambda ctx: ctx.partition_weight > 0.5)
+        assert constraint.validate(ConstraintValidationContext(partition_weight=1.0))
+        assert not constraint.validate(ConstraintValidationContext(partition_weight=0.1))
+
+    def test_base_validate_not_implemented(self):
+        class Incomplete(Constraint):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Incomplete().validate(ConstraintValidationContext())
+
+    def test_default_metadata(self):
+        class C(Constraint):
+            def validate(self, ctx):
+                return True
+
+        constraint = C()
+        assert constraint.constraint_type is ConstraintType.INVARIANT_HARD
+        assert constraint.priority is ConstraintPriority.CRITICAL
+        assert constraint.scope is ConstraintScope.INTER_OBJECT
+        assert constraint.min_satisfaction_degree is SatisfactionDegree.SATISFIED
+        assert constraint.enabled
+
+    def test_invariant_type_classification(self):
+        assert ConstraintType.INVARIANT_HARD.is_invariant
+        assert ConstraintType.INVARIANT_SOFT.is_invariant
+        assert ConstraintType.INVARIANT_ASYNC.is_invariant
+        assert not ConstraintType.PRECONDITION.is_invariant
+        assert not ConstraintType.POSTCONDITION.is_invariant
+
+
+class TestValidationContext:
+    def test_context_object_access(self):
+        thing = Thing("t1")
+        ctx = ConstraintValidationContext(context_object=thing)
+        assert ctx.get_context_object() is thing
+
+    def test_missing_context_object_is_uncheckable(self):
+        ctx = ConstraintValidationContext()
+        with pytest.raises(ConstraintUncheckable):
+            ctx.get_context_object()
+
+    def test_method_details(self):
+        thing = Thing("t1")
+        ctx = ConstraintValidationContext(
+            called_object=thing,
+            method_name="set_value",
+            method_arguments=(5,),
+            method_result=None,
+        )
+        assert ctx.get_called_object() is thing
+        assert ctx.get_method_arguments() == (5,)
+        assert ctx.get_method_result() is None
+
+    def test_defaults(self):
+        ctx = ConstraintValidationContext()
+        assert ctx.partition_weight == 1.0
+        assert not ctx.degraded
+        assert ctx.pre_state == {}
+
+
+class TestFreshnessCriterion:
+    def test_admits_fresh_entity(self):
+        thing = Thing("t1")
+        thing.set_value(1)
+        criterion = FreshnessCriterion("Thing", max_age=0)
+        assert criterion.admits(thing)
+
+    def test_rejects_stale_entity(self):
+        thing = Thing("t1")
+        thing.set_value(1)
+        thing.expected_update_interval = 10.0
+        # No container => clock pinned at 0; simulate elapsed time by
+        # back-dating the last update.
+        thing.last_update_time = -25.0
+        criterion = FreshnessCriterion("Thing", max_age=1)
+        assert not criterion.admits(thing)
+
+    def test_other_class_always_admitted(self):
+        thing = Thing("t1")
+        thing.expected_update_interval = 1.0
+        thing.last_update_time = -100.0
+        criterion = FreshnessCriterion("SomethingElse", max_age=0)
+        assert criterion.admits(thing)

@@ -1,0 +1,92 @@
+"""Tests for the Chapter-5 evaluation harness itself."""
+
+import pytest
+
+from repro.core import ConstraintType, ThreatStoragePolicy
+from repro.evaluation import (
+    async_constraint_improvement,
+    build_cluster,
+    figure_5_1,
+    figure_5_6,
+    figure_5_8,
+    measure_operations,
+)
+
+
+class TestBuildCluster:
+    def test_default_cluster_has_ccm_and_replication(self):
+        cluster = build_cluster(nodes=2)
+        assert cluster.replication is not None
+        assert cluster.ccmgrs
+        assert len(cluster.nodes) == 2
+        assert len(cluster.repository) == 3  # the three bean constraints
+
+    def test_ccm_disabled_registers_no_constraints(self):
+        cluster = build_cluster(nodes=1, ccm=False)
+        assert not cluster.ccmgrs
+        assert len(cluster.repository) == 0
+
+    def test_constraint_type_override(self):
+        cluster = build_cluster(
+            nodes=1,
+            constraint_types={"ThreatProducer": ConstraintType.INVARIANT_ASYNC},
+        )
+        registration = cluster.repository.by_name("ThreatProducer")
+        assert registration.constraint.constraint_type is ConstraintType.INVARIANT_ASYNC
+
+    def test_policy_propagates_to_stores(self):
+        cluster = build_cluster(nodes=2, policy=ThreatStoragePolicy.FULL_HISTORY)
+        for store in cluster.threat_stores.values():
+            assert store.policy is ThreatStoragePolicy.FULL_HISTORY
+
+
+class TestMeasureOperations:
+    def test_rates_are_positive(self):
+        cluster = build_cluster(nodes=1, replication=False)
+        rates = measure_operations(cluster, "n1", count=10)
+        for op in ("create", "setter", "getter", "empty", "delete"):
+            assert rates[op] > 0, op
+
+    def test_reads_faster_than_creates(self):
+        cluster = build_cluster(nodes=1, replication=False)
+        rates = measure_operations(cluster, "n1", count=10)
+        assert rates["getter"] > rates["create"]
+
+    def test_constraint_operations_require_ccm(self):
+        cluster = build_cluster(nodes=1, replication=False)
+        rates = measure_operations(
+            cluster, "n1", count=10, operations=("satisfied", "violated")
+        )
+        assert rates["satisfied"] > 0
+        assert rates["violated"] > 0
+
+    def test_unknown_operations_ignored(self):
+        cluster = build_cluster(nodes=1, replication=False)
+        rates = measure_operations(cluster, "n1", count=5, operations=("getter",))
+        assert "setter" not in rates
+
+
+class TestFigureHarnesses:
+    def test_figure_5_1_retention_band(self):
+        results = figure_5_1(count=15)
+        for op in ("create", "setter", "getter", "empty", "delete"):
+            retained = results["with_ccm"][op] / results["without_ccm"][op]
+            assert 0.8 <= retained <= 1.0
+
+    def test_figure_5_6_policies_differ(self):
+        results = figure_5_6(distinct_threats=6, occurrences_each=3)
+        assert (
+            results["full_history"].replica_phase_seconds
+            > results["identical_once"].replica_phase_seconds
+        )
+
+    def test_figure_5_8_shape(self):
+        results = figure_5_8(iterations=3, operations_per_iteration=10)
+        once = results["identical_once"]
+        full = results["full_history"]
+        assert once[1] > full[1]
+        assert once[1] > once[0]  # dedup kicks in after the first iteration
+
+    def test_async_improvement_positive(self):
+        results = async_constraint_improvement(count=15)
+        assert results["async"] > results["soft"]

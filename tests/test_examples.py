@@ -1,0 +1,35 @@
+"""Smoke tests: every example in examples/ runs to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.stem for path in EXAMPLES_DIR.glob("*.py"))
+
+# constraint_study measures wall-clock over many runs — keep it short.
+_ARGS = {"constraint_study": ["3"]}
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [name] + _ARGS.get(name, []))
+    runpy.run_path(str(EXAMPLES_DIR / f"{name}.py"), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{name} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart",
+        "alarm_tracking",
+        "telecom_management",
+        "web_negotiation",
+        "adaptive_voting",
+        "availability_study",
+        "constraint_study",
+        "ocl_constraints",
+        "scripted_test",
+    } <= set(EXAMPLES)

@@ -1,0 +1,106 @@
+"""Tests for the heartbeat failure detector."""
+
+import pytest
+
+from repro.membership import HeartbeatFailureDetector
+from repro.net import SimNetwork
+
+NODES = ("a", "b", "c")
+
+
+def make_detector(period=0.5, timeout=1.6):
+    network = SimNetwork(NODES)
+    detector = HeartbeatFailureDetector(network, period=period, timeout=timeout)
+    return network, detector
+
+
+class TestHealthyOperation:
+    def test_no_suspicions_without_failures(self):
+        network, detector = make_detector()
+        detector.run_for(10.0)
+        for observer in NODES:
+            assert detector.suspects(observer) == frozenset()
+
+    def test_invalid_parameters(self):
+        network = SimNetwork(NODES)
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(network, period=0)
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(network, period=1.0, timeout=0.5)
+
+
+class TestDetection:
+    def test_crash_detected_after_timeout(self):
+        network, detector = make_detector()
+        detector.run_for(2.0)
+        network.crash_node("c")
+        detector.run_for(0.5)
+        assert not detector.is_suspected("a", "c")  # not yet overdue
+        detector.run_for(2.0)
+        assert detector.is_suspected("a", "c")
+        assert detector.is_suspected("b", "c")
+
+    def test_partition_makes_suspicion_mutual(self):
+        network, detector = make_detector()
+        detector.run_for(2.0)
+        network.partition({"a"}, {"b", "c"})
+        detector.run_for(3.0)
+        assert detector.suspects("a") == frozenset({"b", "c"})
+        assert detector.suspects("b") == frozenset({"a"})
+        assert not detector.is_suspected("b", "c")
+
+    def test_detection_latency_bounded(self):
+        # suspicion can take at most timeout + one period
+        network, detector = make_detector(period=0.5, timeout=1.6)
+        detector.run_for(2.0)
+        network.crash_node("b")
+        detector.run_for(4.0)
+        latency = detector.detection_latency("a", "b")
+        assert latency is not None
+        assert detector.timeout < latency <= detector.timeout + detector.period + 1e-9
+
+    def test_suspicion_cleared_on_recovery(self):
+        network, detector = make_detector()
+        detector.run_for(2.0)
+        network.crash_node("b")
+        detector.run_for(3.0)
+        assert detector.is_suspected("a", "b")
+        network.recover_node("b")
+        detector.run_for(3.0)
+        assert not detector.is_suspected("a", "b")
+
+    def test_listener_events(self):
+        network, detector = make_detector()
+        events = []
+        detector.add_listener(lambda observer, subject, suspected: events.append(
+            (observer, subject, suspected)
+        ))
+        detector.run_for(2.0)
+        network.crash_node("c")
+        detector.run_for(3.0)
+        network.recover_node("c")
+        detector.run_for(3.0)
+        assert ("a", "c", True) in events
+        assert ("a", "c", False) in events
+
+    def test_crashed_observer_observes_nothing(self):
+        network, detector = make_detector()
+        detector.run_for(2.0)
+        network.crash_node("a")
+        detector.run_for(3.0)
+        # a's suspicion state is frozen while crashed
+        assert detector.suspects("a") == frozenset()
+
+    def test_never_suspected_latency_none(self):
+        network, detector = make_detector()
+        detector.run_for(2.0)
+        assert detector.detection_latency("a", "b") is None
+
+    def test_stop_halts_rounds(self):
+        network, detector = make_detector()
+        detector.run_for(2.0)
+        detector.stop()
+        network.crash_node("b")
+        # advancing the clock without rounds changes nothing
+        detector.scheduler.run_until(detector.scheduler.clock.now + 10.0)
+        assert not detector.is_suspected("a", "b")

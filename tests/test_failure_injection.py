@@ -1,0 +1,170 @@
+"""Failure-injection tests: node crashes, recovery, mid-degradation
+topology changes, and internal-call interception."""
+
+import pytest
+
+from repro import ClusterConfig, DedisysCluster
+from repro.apps.flightbooking import Flight, ticket_constraint_registration
+from repro.core import (
+    AcceptAllHandler,
+    ConstraintPriority,
+    ConstraintViolated,
+    PredicateConstraint,
+)
+from repro.core.metadata import AffectedMethod, ConstraintRegistration
+from repro.net import NodeCrashedError, UnreachableError
+from repro.objects import Entity
+
+NODES = ("a", "b", "c")
+
+
+class Pair(Entity):
+    """Entity pair used to exercise nested (internal) invocations."""
+
+    fields = {"value": 0, "buddy": None}
+
+    def set_both(self, value):
+        """Writes itself and its buddy — the nested call goes through the
+        middleware (the AOP-intercepted path of §4.2.4)."""
+        self._set("value", value)
+        buddy = self._get("buddy")
+        if buddy is not None:
+            self.invoke(buddy, "set_value", value)
+        return value
+
+    def set_both_unintercepted(self, value):
+        """Writes the buddy by direct attribute manipulation — the
+        un-interceptable internal-call problem (Fig. 4.5, call 7)."""
+        self._set("value", value)
+        buddy = self.resolve(self._get("buddy"))
+        if buddy is not None:
+            buddy._set("value", value)
+        return value
+
+
+@pytest.fixture
+def cluster():
+    cluster = DedisysCluster(ClusterConfig(node_ids=NODES))
+    cluster.deploy(Flight)
+    cluster.deploy(Pair)
+    cluster.register_constraint(ticket_constraint_registration())
+    return cluster
+
+
+class TestNodeCrash:
+    def test_crashed_node_cannot_serve(self, cluster):
+        ref = cluster.create_entity("a", "Flight", "f1", {"seats": 10})
+        cluster.network.crash_node("b")
+        with pytest.raises(NodeCrashedError):
+            cluster.invoke("b", ref, "get_seats")
+
+    def test_crash_of_primary_fails_over(self, cluster):
+        # P4 chooses a temporary primary when the designated one crashed.
+        ref = cluster.create_entity("a", "Flight", "f1", {"seats": 100})
+        cluster.network.crash_node("a")
+        cluster.invoke(
+            "b", ref, "sell_tickets", 1, negotiation_handler=AcceptAllHandler()
+        )
+        assert cluster.entity_on("b", ref).get_sold() == 1
+        assert cluster.entity_on("c", ref).get_sold() == 1
+
+    def test_recovered_node_catches_up_via_reconciliation(self, cluster):
+        ref = cluster.create_entity("a", "Flight", "f1", {"seats": 100})
+        cluster.network.crash_node("c")
+        cluster.invoke(
+            "a", ref, "sell_tickets", 3, negotiation_handler=AcceptAllHandler()
+        )
+        assert cluster.entity_on("c", ref).get_sold() == 0  # missed it
+        cluster.network.recover_node("c")
+        cluster.reconcile()
+        assert cluster.entity_on("c", ref).get_sold() == 3
+
+    def test_crash_is_perceived_as_degradation(self, cluster):
+        assert not cluster.is_degraded()
+        cluster.network.crash_node("b")
+        assert cluster.is_degraded()
+        cluster.network.recover_node("b")
+        assert not cluster.is_degraded()
+
+
+class TestCascadingPartitions:
+    def test_partition_change_during_degradation(self, cluster):
+        ref = cluster.create_entity("a", "Flight", "f1", {"seats": 100})
+        handler = AcceptAllHandler()
+        cluster.partition({"a"}, {"b", "c"})
+        cluster.invoke("a", ref, "sell_tickets", 1, negotiation_handler=handler)
+        # topology changes again while still degraded
+        cluster.partition({"a", "b"}, {"c"})
+        cluster.invoke("b", ref, "sell_tickets", 1, negotiation_handler=handler)
+        cluster.heal()
+        cluster.reconcile()
+        states = {node: cluster.entity_on(node, ref).get_sold() for node in NODES}
+        assert len(set(states.values())) == 1  # converged
+
+    def test_repeated_partition_heal_cycles(self, cluster):
+        ref = cluster.create_entity("a", "Flight", "f1", {"seats": 100})
+        handler = AcceptAllHandler()
+        for cycle in range(3):
+            cluster.partition({"a"}, {"b", "c"})
+            cluster.invoke("a", ref, "sell_tickets", 1, negotiation_handler=handler)
+            cluster.heal()
+            report = cluster.reconcile()
+            assert report.postponed == 0
+        assert cluster.threat_stores["a"].count_identities() == 0
+        states = {cluster.entity_on(node, ref).get_sold() for node in NODES}
+        assert len(states) == 1
+
+
+class TestInternalCallInterception:
+    def _wire(self, cluster):
+        left = cluster.create_entity("a", "Pair", "left")
+        right = cluster.create_entity("b", "Pair", "right")
+        cluster.invoke("a", left, "set_buddy", right)
+        constraint = PredicateConstraint(
+            "ValueCap",
+            lambda ctx: ctx.get_context_object().get_value() <= 10,
+            priority=ConstraintPriority.CRITICAL,
+            context_class="Pair",
+        )
+        cluster.register_constraint(
+            ConstraintRegistration(constraint, (AffectedMethod("Pair", "set_value"),))
+        )
+        return left, right
+
+    def test_nested_invocation_is_intercepted(self, cluster):
+        # §4.2.4: with AOP-style interception the nested set_value on the
+        # buddy triggers its constraints too.
+        left, right = self._wire(cluster)
+        with pytest.raises(ConstraintViolated):
+            cluster.invoke("a", left, "set_both", 11)
+        # the whole transaction rolled back, including the outer write
+        assert cluster.entity_on("a", left).get_value() == 0
+        assert cluster.entity_on("b", right).get_value() == 0
+
+    def test_unintercepted_internal_write_bypasses_constraints(self, cluster):
+        # Fig. 4.5 call 7: a direct internal write is invisible to the
+        # interceptor chain — the documented failure mode that motivates
+        # AOP interception.
+        left, right = self._wire(cluster)
+        cluster.invoke("a", left, "set_both_unintercepted", 11)
+        assert cluster.entity_on("a", left).get_value() == 11
+
+    def test_nested_invocation_within_limit_succeeds(self, cluster):
+        left, right = self._wire(cluster)
+        cluster.invoke("a", left, "set_both", 7)
+        assert cluster.entity_on("c", left).get_value() == 7
+        assert cluster.entity_on("c", right).get_value() == 7
+
+
+class TestUnreachableObjects:
+    def test_read_of_unreplicated_remote_object_fails(self):
+        cluster = DedisysCluster(
+            ClusterConfig(node_ids=NODES, enable_replication=False)
+        )
+        cluster.deploy(Flight)
+        ref = cluster.create_entity("c", "Flight", "f1", {"seats": 5})
+        cluster.partition({"a"}, {"b", "c"})
+        with pytest.raises(UnreachableError):
+            cluster.invoke("a", ref, "get_seats")
+        # ... while the home partition still serves it
+        assert cluster.invoke("b", ref, "get_seats") == 5

@@ -1,0 +1,239 @@
+"""Tests for constraint configuration and registration metadata (§4.2.2)."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    ConstraintPriority,
+    ConstraintScope,
+    ConstraintType,
+    SatisfactionDegree,
+    parse_xml_configuration,
+    registration_from_dict,
+)
+from repro.core.metadata import (
+    AffectedMethod,
+    CalledObjectIsContextObject,
+    NoContextObject,
+    ReferenceIsContextObject,
+)
+from repro.apps.ats import (
+    ATS_XML_CONFIGURATION,
+    Alarm,
+    ComponentKindReferenceConsistency,
+    RepairReport,
+)
+from repro.core.model import Constraint, ConstraintValidationContext
+from repro.objects import Entity
+
+
+class Simple(Constraint):
+    def validate(self, ctx):
+        return True
+
+
+CLASSES = {
+    "Simple": Simple,
+    "ComponentKindReferenceConsistency": ComponentKindReferenceConsistency,
+}
+
+
+class Holder(Entity):
+    fields = {"value": 0, "other": None}
+
+
+class TestDictConfiguration:
+    def test_minimal(self):
+        registration = registration_from_dict({"class": "Simple"}, CLASSES)
+        assert registration.name == "Simple"
+        assert registration.affected_methods == ()
+
+    def test_full_entry(self):
+        registration = registration_from_dict(
+            {
+                "name": "MyRule",
+                "class": "Simple",
+                "type": "SOFT",
+                "priority": "RELAXABLE",
+                "min_satisfaction_degree": "POSSIBLY_VIOLATED",
+                "scope": "INTRA-OBJECT",
+                "context_class": "Holder",
+                "context_object": True,
+                "description": "demo",
+                "freshness": [{"class": "Holder", "max_age": 3}],
+                "affected_methods": [
+                    {"class": "Holder", "method": "set_value"},
+                ],
+            },
+            CLASSES,
+        )
+        constraint = registration.constraint
+        assert constraint.name == "MyRule"
+        assert constraint.constraint_type is ConstraintType.INVARIANT_SOFT
+        assert constraint.priority is ConstraintPriority.RELAXABLE
+        assert constraint.min_satisfaction_degree is SatisfactionDegree.POSSIBLY_VIOLATED
+        assert constraint.scope is ConstraintScope.INTRA_OBJECT
+        assert constraint.context_class == "Holder"
+        assert constraint.freshness_criteria[0].max_age == 3
+        assert registration.affected_methods[0].key == ("Holder", "set_value")
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            registration_from_dict({}, CLASSES)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            registration_from_dict({"class": "Ghost"}, CLASSES)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            registration_from_dict({"class": "Simple", "type": "WEIRD"}, CLASSES)
+
+    def test_unknown_preparation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            registration_from_dict(
+                {
+                    "class": "Simple",
+                    "affected_methods": [
+                        {
+                            "class": "Holder",
+                            "method": "set_value",
+                            "preparation": {"class": "Bogus"},
+                        }
+                    ],
+                },
+                CLASSES,
+            )
+
+    def test_reference_preparation_requires_getter(self):
+        with pytest.raises(ConfigurationError):
+            registration_from_dict(
+                {
+                    "class": "Simple",
+                    "affected_methods": [
+                        {
+                            "class": "Holder",
+                            "method": "set_value",
+                            "preparation": {"class": "ReferenceIsContextObject"},
+                        }
+                    ],
+                },
+                CLASSES,
+            )
+
+    def test_type_aliases(self):
+        for alias, expected in [
+            ("PRE", ConstraintType.PRECONDITION),
+            ("POST", ConstraintType.POSTCONDITION),
+            ("HARD", ConstraintType.INVARIANT_HARD),
+            ("ASYNC", ConstraintType.INVARIANT_ASYNC),
+        ]:
+            registration = registration_from_dict(
+                {"class": "Simple", "name": f"c-{alias}", "type": alias}, CLASSES
+            )
+            assert registration.constraint.constraint_type is expected
+
+
+class TestXmlConfiguration:
+    def test_listing_4_1_parses(self):
+        registrations = parse_xml_configuration(ATS_XML_CONFIGURATION, CLASSES)
+        assert len(registrations) == 1
+        registration = registrations[0]
+        constraint = registration.constraint
+        assert constraint.name == "ComponentKindReferenceConsistency"
+        assert constraint.constraint_type is ConstraintType.INVARIANT_HARD
+        assert constraint.priority is ConstraintPriority.RELAXABLE
+        assert constraint.min_satisfaction_degree is SatisfactionDegree.UNCHECKABLE
+        assert constraint.context_class == "RepairReport"
+        keys = {affected.key for affected in registration.affected_methods}
+        assert keys == {
+            ("RepairReport", "set_affected_component"),
+            ("Alarm", "set_alarm_kind"),
+        }
+
+    def test_preparation_classes_mapped(self):
+        registrations = parse_xml_configuration(ATS_XML_CONFIGURATION, CLASSES)
+        registration = registrations[0]
+        direct = registration.preparation_for("RepairReport", "set_affected_component")
+        assert isinstance(direct, CalledObjectIsContextObject)
+        via_reference = registration.preparation_for("Alarm", "set_alarm_kind")
+        assert isinstance(via_reference, ReferenceIsContextObject)
+        assert via_reference.getter == "get_repair_report"
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_xml_configuration("<constraints><constraint>", CLASSES)
+
+    def test_constraint_without_class_rejected(self):
+        xml = "<constraints><constraint name='x'/></constraints>"
+        with pytest.raises(ConfigurationError):
+            parse_xml_configuration(xml, CLASSES)
+
+    def test_single_constraint_root(self):
+        xml = "<constraint name='solo'><class>Simple</class></constraint>"
+        registrations = parse_xml_configuration(xml, CLASSES)
+        assert registrations[0].name == "solo"
+
+
+class TestContextPreparation:
+    def test_called_object_is_context(self):
+        holder = Holder("h1")
+        assert CalledObjectIsContextObject().extract(holder) is holder
+
+    def test_no_context_object(self):
+        holder = Holder("h1")
+        assert NoContextObject().extract(holder) is None
+
+    def test_reference_preparation_with_entity_value(self):
+        other = Holder("h2")
+        holder = Holder("h1", other=other)
+        preparation = ReferenceIsContextObject("get_other")
+        assert preparation.extract(holder) is other
+
+    def test_reference_preparation_none_passthrough(self):
+        holder = Holder("h1")
+        assert ReferenceIsContextObject("get_other").extract(holder) is None
+
+    def test_reference_preparation_bad_type(self):
+        holder = Holder("h1", other=42)
+        with pytest.raises(TypeError):
+            ReferenceIsContextObject("get_other").extract(holder)
+
+    def test_default_preparation_for_unlisted_method(self):
+        registration = registration_from_dict({"class": "Simple"}, CLASSES)
+        assert isinstance(
+            registration.preparation_for("Holder", "whatever"),
+            CalledObjectIsContextObject,
+        )
+
+
+class TestAtsConstraintSemantics:
+    """The Fig. 1.5 constraint validated directly (without middleware)."""
+
+    def _pair(self):
+        alarm = Alarm("al1", alarm_kind="Signal")
+        report = RepairReport("rr1")
+        # Without containers, wire references directly to entities.
+        alarm._attributes["repair_report"] = report
+        report._attributes["alarm"] = alarm
+        return alarm, report
+
+    def test_satisfied_for_matching_component(self):
+        alarm, report = self._pair()
+        report._attributes["affected_component"] = "Signal Cable"
+        constraint = ComponentKindReferenceConsistency()
+        ctx = ConstraintValidationContext(context_object=report)
+        assert constraint.validate(ctx)
+
+    def test_violated_for_wrong_component(self):
+        alarm, report = self._pair()
+        report._attributes["affected_component"] = "Fuse"
+        constraint = ComponentKindReferenceConsistency()
+        ctx = ConstraintValidationContext(context_object=report)
+        assert not constraint.validate(ctx)
+
+    def test_unassigned_report_unconstrained(self):
+        report = RepairReport("rr1", affected_component="Fuse")
+        constraint = ComponentKindReferenceConsistency()
+        ctx = ConstraintValidationContext(context_object=report)
+        assert constraint.validate(ctx)

@@ -1,0 +1,234 @@
+"""Tests for the simulated network: links, partitions, crashes, multicast."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import GroupChannel, NodeCrashedError, SimNetwork, UnreachableError
+
+NODES = ("a", "b", "c", "d")
+
+
+@pytest.fixture
+def network():
+    return SimNetwork(NODES)
+
+
+class TestTopology:
+    def test_initially_fully_connected(self, network):
+        assert network.is_healthy()
+        assert network.partitions() == [frozenset(NODES)]
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            SimNetwork(("a", "a"))
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            SimNetwork(())
+
+    def test_fail_link_splits_nothing_with_routing(self, network):
+        # a-b fails but a can still reach b via c (routing through peers).
+        network.fail_link("a", "b")
+        assert network.reachable("a", "b")
+        assert network.is_healthy()
+
+    def test_partition_two_groups(self, network):
+        network.partition({"a"}, {"b", "c", "d"})
+        assert not network.reachable("a", "b")
+        assert network.reachable("b", "d")
+        parts = network.partitions()
+        assert frozenset({"a"}) in parts
+        assert frozenset({"b", "c", "d"}) in parts
+
+    def test_partition_largest_first(self, network):
+        network.partition({"a"}, {"b", "c", "d"})
+        assert network.partitions()[0] == frozenset({"b", "c", "d"})
+
+    def test_partition_implicit_remainder(self, network):
+        network.partition({"a", "b"})
+        assert network.partition_of("c") == frozenset({"c", "d"})
+
+    def test_partition_rejects_double_assignment(self, network):
+        with pytest.raises(ValueError):
+            network.partition({"a"}, {"a", "b"})
+
+    def test_heal_all_restores(self, network):
+        network.partition({"a"}, {"b", "c", "d"})
+        network.heal_all()
+        assert network.is_healthy()
+
+    def test_heal_link(self, network):
+        network.partition({"a"}, {"b", "c", "d"})
+        network.heal_link("a", "b")
+        assert network.reachable("a", "d")  # via b
+
+    def test_self_link_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.fail_link("a", "a")
+
+    def test_unknown_node_rejected(self, network):
+        with pytest.raises(KeyError):
+            network.reachable("a", "nope")
+
+    def test_reachable_self(self, network):
+        assert network.reachable("a", "a")
+
+
+class TestCrashes:
+    def test_crashed_node_unreachable(self, network):
+        network.crash_node("b")
+        assert not network.reachable("a", "b")
+        assert network.is_crashed("b")
+
+    def test_crash_looks_like_singleton_partition(self, network):
+        # §1.1: node failures are initially indistinguishable from
+        # partitions with a single node.
+        network.crash_node("b")
+        assert network.partition_of("b") == frozenset()
+        assert network.partitions() == [frozenset({"a", "c", "d"})]
+
+    def test_crashed_node_cannot_send(self, network):
+        network.crash_node("a")
+        with pytest.raises(NodeCrashedError):
+            network.send("a", "b", "ping")
+
+    def test_recover_node(self, network):
+        network.crash_node("b")
+        network.recover_node("b")
+        assert network.reachable("a", "b")
+
+    def test_crash_does_not_route_through(self, network):
+        # only path a-b via direct links; crash every intermediate
+        network.partition({"a", "b"}, {"c", "d"})
+        network.crash_node("b")
+        assert network.partition_of("a") == frozenset({"a"})
+
+
+class TestMessaging:
+    def test_send_delivers_to_handler(self, network):
+        received = []
+        network.register_handler("b", lambda msg: received.append(msg.payload))
+        network.send("a", "b", "data", {"x": 1})
+        assert received == [{"x": 1}]
+
+    def test_send_returns_handler_result(self, network):
+        network.register_handler("b", lambda msg: "pong")
+        assert network.send("a", "b", "ping") == "pong"
+
+    def test_send_unreachable_raises(self, network):
+        network.partition({"a"}, {"b", "c", "d"})
+        with pytest.raises(UnreachableError):
+            network.send("a", "b", "ping")
+
+    def test_send_charges_latency(self, network):
+        before = network.scheduler.clock.now
+        network.send("a", "b", "ping")
+        assert network.scheduler.clock.now == before + network.costs.network_latency
+
+    def test_local_send_is_free(self, network):
+        before = network.scheduler.clock.now
+        network.send("a", "a", "ping")
+        assert network.scheduler.clock.now == before
+
+    def test_lossy_link_drops(self):
+        network = SimNetwork(("a", "b"), loss_probability=0.999999, seed=1)
+        with pytest.raises(UnreachableError):
+            network.send("a", "b", "ping")
+
+    def test_invalid_loss_probability(self):
+        with pytest.raises(ValueError):
+            SimNetwork(("a",), loss_probability=1.0)
+
+    def test_delivered_messages_recorded(self, network):
+        network.send("a", "b", "ping", 1)
+        network.send("b", "c", "ping", 2)
+        kinds = [m.kind for m in network.delivered_messages]
+        assert kinds == ["ping", "ping"]
+
+    def test_topology_listener_fired(self, network):
+        events = []
+        network.on_topology_change(lambda: events.append(1))
+        network.fail_link("a", "b")
+        network.heal_all()
+        assert len(events) == 2
+
+
+class TestGroupChannel:
+    def test_multicast_reaches_all_members(self, network):
+        channel = GroupChannel(network)
+        received = {}
+        for node in NODES:
+            channel.join(node, lambda msg, n=node: received.setdefault(n, msg.payload))
+        replies = channel.multicast("a", "update", {"v": 1})
+        assert set(replies) == {"b", "c", "d"}
+        assert received == {"b": {"v": 1}, "c": {"v": 1}, "d": {"v": 1}}
+
+    def test_multicast_respects_partitions(self, network):
+        channel = GroupChannel(network)
+        for node in NODES:
+            channel.join(node, lambda msg: "ack")
+        network.partition({"a", "b"}, {"c", "d"})
+        replies = channel.multicast("a", "update")
+        assert set(replies) == {"b"}
+
+    def test_multicast_from_crashed_raises(self, network):
+        channel = GroupChannel(network)
+        for node in NODES:
+            channel.join(node, lambda msg: "ack")
+        network.crash_node("a")
+        with pytest.raises(NodeCrashedError):
+            channel.multicast("a", "update")
+
+    def test_multicast_charges_per_recipient(self, network):
+        channel = GroupChannel(network)
+        for node in NODES:
+            channel.join(node, lambda msg: "ack")
+        before = network.scheduler.clock.now
+        channel.multicast("a", "update")
+        expected = 2 * (network.costs.multicast_base + 3 * network.costs.multicast_per_node)
+        assert network.scheduler.clock.now == pytest.approx(before + expected)
+
+    def test_multicast_no_recipients_is_free(self, network):
+        channel = GroupChannel(network)
+        channel.join("a", lambda msg: "ack")
+        before = network.scheduler.clock.now
+        assert channel.multicast("a", "update") == {}
+        assert network.scheduler.clock.now == before
+
+    def test_leave_removes_member(self, network):
+        channel = GroupChannel(network)
+        channel.join("a", lambda msg: "ack")
+        channel.join("b", lambda msg: "ack")
+        channel.leave("b")
+        assert channel.members == ("a",)
+
+    def test_join_unknown_node_rejected(self, network):
+        channel = GroupChannel(network)
+        with pytest.raises(KeyError):
+            channel.join("zzz", lambda msg: None)
+
+
+@given(
+    groups=st.lists(
+        st.sets(st.sampled_from(list(NODES)), min_size=1),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_partitions_form_a_partition_of_live_nodes(groups):
+    """Property: connected components always partition the node set."""
+    seen: set[str] = set()
+    disjoint = []
+    for group in groups:
+        fresh = group - seen
+        if fresh:
+            disjoint.append(fresh)
+            seen |= fresh
+    network = SimNetwork(NODES)
+    network.partition(*disjoint)
+    components = network.partitions()
+    union = set()
+    for component in components:
+        assert not (union & component), "components must be disjoint"
+        union |= component
+    assert union == set(NODES)

@@ -1,0 +1,253 @@
+"""Tests for the mini-OCL expression language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.validation.ocl import OclError, OclExpression, parse, tokenize
+
+
+class Holder:
+    def __init__(self, **attrs):
+        for name, value in attrs.items():
+            setattr(self, name, value)
+
+    def double(self, x):
+        return 2 * x
+
+    def answer(self):
+        return 42
+
+
+def evaluate(text, **env):
+    return parse(text).evaluate(env)
+
+
+class TestTokenizer:
+    def test_names_and_keywords(self):
+        kinds = [(t.kind, t.value) for t in tokenize("self and x")]
+        assert kinds == [
+            ("name", "self"),
+            ("keyword", "and"),
+            ("name", "x"),
+            ("end", ""),
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5"]
+
+    def test_strings(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "hello world"
+
+    def test_empty_string_literal(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string(self):
+        with pytest.raises(OclError):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("<= >= <> ->")[:-1]]
+        assert values == ["<=", ">=", "<>", "->"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(OclError):
+            tokenize("a # b")
+
+
+class TestLiteralsAndArithmetic:
+    def test_integer(self):
+        assert evaluate("41 + 1") == 42
+
+    def test_float(self):
+        assert evaluate("1.5 * 2") == 3.0
+
+    def test_precedence(self):
+        assert evaluate("2 + 3 * 4") == 14
+
+    def test_parentheses(self):
+        assert evaluate("(2 + 3) * 4") == 20
+
+    def test_unary_minus(self):
+        assert evaluate("-5 + 3") == -2
+
+    def test_division(self):
+        assert evaluate("10 / 4") == 2.5
+
+    def test_booleans(self):
+        assert evaluate("true") is True
+        assert evaluate("false") is False
+
+    def test_string_literal(self):
+        assert evaluate("'abc'") == "abc"
+
+
+class TestComparisonAndLogic:
+    def test_comparisons(self):
+        assert evaluate("3 < 4") is True
+        assert evaluate("4 <= 4") is True
+        assert evaluate("5 > 6") is False
+        assert evaluate("5 >= 5") is True
+
+    def test_equality_is_single_equals(self):
+        assert evaluate("3 = 3") is True
+        assert evaluate("3 <> 4") is True
+
+    def test_and_or(self):
+        assert evaluate("true and false") is False
+        assert evaluate("true or false") is True
+
+    def test_not(self):
+        assert evaluate("not false") is True
+
+    def test_implies(self):
+        assert evaluate("false implies false") is True
+        assert evaluate("true implies false") is False
+        assert evaluate("true implies true") is True
+
+    def test_logic_precedence(self):
+        # and binds tighter than or; implies loosest
+        assert evaluate("true or false and false") is True
+        assert evaluate("false and false or true") is True
+        assert evaluate("false or false implies false") is True
+
+    def test_conditional(self):
+        assert evaluate("if 1 < 2 then 'yes' else 'no' endif") == "yes"
+        assert evaluate("if 2 < 1 then 'yes' else 'no' endif") == "no"
+
+
+class TestObjectNavigation:
+    def test_attribute_access(self):
+        assert evaluate("self.x", self=Holder(x=7)) == 7
+
+    def test_chained_attributes(self):
+        inner = Holder(value=3)
+        assert evaluate("self.inner.value", self=Holder(inner=inner)) == 3
+
+    def test_method_call_no_args(self):
+        assert evaluate("self.answer()", self=Holder()) == 42
+
+    def test_method_call_with_args(self):
+        assert evaluate("self.double(21)", self=Holder()) == 42
+
+    def test_unknown_name(self):
+        with pytest.raises(OclError):
+            evaluate("mystery")
+
+    def test_extra_bindings(self):
+        assert evaluate("result + 1", result=41) == 42
+
+
+class TestCollections:
+    def test_size(self):
+        assert evaluate("self.items->size()", self=Holder(items=[1, 2, 3])) == 3
+
+    def test_is_empty_not_empty(self):
+        holder = Holder(items=[])
+        assert evaluate("self.items->isEmpty()", self=holder) is True
+        assert evaluate("self.items->notEmpty()", self=holder) is False
+
+    def test_sum(self):
+        assert evaluate("self.items->sum()", self=Holder(items=[1, 2, 3])) == 6
+
+    def test_includes(self):
+        holder = Holder(items=[1, 2])
+        assert evaluate("self.items->includes(2)", self=holder) is True
+        assert evaluate("self.items->includes(9)", self=holder) is False
+
+    def test_for_all(self):
+        holder = Holder(items=[2, 4, 6])
+        assert evaluate("self.items->forAll(i | i > 1)", self=holder) is True
+        assert evaluate("self.items->forAll(i | i > 3)", self=holder) is False
+
+    def test_for_all_empty_collection(self):
+        assert evaluate("self.items->forAll(i | false)", self=Holder(items=[])) is True
+
+    def test_exists(self):
+        holder = Holder(items=[1, 5])
+        assert evaluate("self.items->exists(i | i = 5)", self=holder) is True
+        assert evaluate("self.items->exists(i | i = 9)", self=holder) is False
+
+    def test_select_and_reject(self):
+        holder = Holder(items=[1, 2, 3, 4])
+        assert evaluate("self.items->select(i | i > 2)->size()", self=holder) == 2
+        assert evaluate("self.items->reject(i | i > 2)->size()", self=holder) == 2
+
+    def test_collect(self):
+        holder = Holder(items=[1, 2])
+        assert evaluate("self.items->collect(i | i * 10)->sum()", self=holder) == 30
+
+    def test_nested_quantifiers(self):
+        groups = Holder(groups=[[1, 2], [3]])
+        assert (
+            evaluate("self.groups->forAll(g | g->forAll(i | i < 4))", self=groups)
+            is True
+        )
+
+    def test_quantifier_over_object_attributes(self):
+        items = [Holder(v=1), Holder(v=2)]
+        assert evaluate("self.items->forAll(i | i.v >= 1)", self=Holder(items=items)) is True
+
+
+class TestParserErrors:
+    def test_missing_closing_paren(self):
+        with pytest.raises(OclError):
+            parse("(1 + 2")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(OclError):
+            parse("1 + 2 3")
+
+    def test_missing_pipe_in_quantifier(self):
+        with pytest.raises(OclError):
+            parse("self.items->forAll(i i > 1)")
+
+    def test_unknown_collection_operation(self):
+        holder = Holder(items=[1])
+        with pytest.raises(OclError):
+            evaluate("self.items->frobnicate()", self=holder)
+
+    def test_incomplete_conditional(self):
+        with pytest.raises(OclError):
+            parse("if true then 1 endif")
+
+
+class TestOclExpressionWrapper:
+    def test_holds_for(self):
+        expression = OclExpression("self.x > 0")
+        assert expression.holds_for(Holder(x=1))
+        assert not expression.holds_for(Holder(x=-1))
+
+    def test_evaluate_kwargs(self):
+        assert OclExpression("a + b").evaluate(a=1, b=2) == 3
+
+    def test_reusable(self):
+        expression = OclExpression("self.x < 10")
+        for x in range(5):
+            assert expression.holds_for(Holder(x=x))
+
+
+@given(st.integers(min_value=-1000, max_value=1000), st.integers(min_value=-1000, max_value=1000))
+def test_arithmetic_matches_python(a, b):
+    assert evaluate(f"{a} + {b}" if b >= 0 else f"{a} - {abs(b)}") == a + b
+    assert evaluate(f"a * b", a=a, b=b) == a * b
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100), max_size=20), st.integers(-100, 100))
+def test_quantifiers_match_python(items, threshold):
+    holder = Holder(items=items)
+    assert evaluate("self.items->forAll(i | i <= t)", self=holder, t=threshold) == all(
+        i <= threshold for i in items
+    )
+    assert evaluate("self.items->exists(i | i > t)", self=holder, t=threshold) == any(
+        i > threshold for i in items
+    )
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), max_size=20))
+def test_size_and_sum_match_python(items):
+    holder = Holder(items=items)
+    assert evaluate("self.items->size()", self=holder) == len(items)
+    assert evaluate("self.items->sum()", self=holder) == sum(items)

@@ -1,0 +1,121 @@
+"""Tests for the distributed project-management application."""
+
+import pytest
+
+from repro import ClusterConfig, DedisysCluster
+from repro.apps.projectmgmt import (
+    AssignmentConsistency,
+    ProjectRecord,
+    StaffMember,
+    projectmgmt_constraint_registrations,
+)
+from repro.core import (
+    AcceptAllHandler,
+    ConsistencyThreatRejected,
+    ConstraintViolated,
+)
+
+NODES = ("hr", "pmo", "backup")
+
+
+@pytest.fixture
+def cluster():
+    cluster = DedisysCluster(ClusterConfig(node_ids=NODES))
+    cluster.deploy(StaffMember)
+    cluster.deploy(ProjectRecord)
+    cluster.register_constraints(projectmgmt_constraint_registrations())
+    return cluster
+
+
+def wire(cluster):
+    member = cluster.create_entity(
+        "hr", "StaffMember", "ada", {"name": "Ada", "weekly_limit": 40.0}
+    )
+    project = cluster.create_entity(
+        "pmo", "ProjectRecord", "apollo", {"title": "Apollo", "budget": 1000.0}
+    )
+    cluster.invoke("pmo", project, "assign", member)
+    cluster.invoke("hr", member, "set_active_project", project)
+    return member, project
+
+
+class TestHealthyMode:
+    def test_workload_limit_enforced(self, cluster):
+        member, project = wire(cluster)
+        cluster.invoke("hr", member, "log_hours", 39.0)
+        with pytest.raises(ConstraintViolated):
+            cluster.invoke("hr", member, "log_hours", 2.0)
+        assert cluster.entity_on("backup", member).get_hours_logged() == 39.0
+
+    def test_budget_enforced(self, cluster):
+        member, project = wire(cluster)
+        cluster.invoke("pmo", project, "charge", 999.0)
+        with pytest.raises(ConstraintViolated):
+            cluster.invoke("pmo", project, "charge", 2.0)
+
+    def test_assignment_required_to_set_active_project(self, cluster):
+        member = cluster.create_entity("hr", "StaffMember", "bob", {"name": "Bob"})
+        project = cluster.create_entity(
+            "pmo", "ProjectRecord", "zeus", {"title": "Zeus"}
+        )
+        # not assigned to the project's staff list yet
+        with pytest.raises(ConstraintViolated):
+            cluster.invoke("hr", member, "set_active_project", project)
+
+    def test_activating_unstaffed_project_rejected(self, cluster):
+        project = cluster.create_entity(
+            "pmo", "ProjectRecord", "ghost", {"title": "Ghost"}
+        )
+        with pytest.raises(ConstraintViolated):
+            cluster.invoke("pmo", project, "activate")
+
+    def test_unassigning_last_member_of_active_project_rejected(self, cluster):
+        member, project = wire(cluster)
+        cluster.invoke("pmo", project, "activate")
+        with pytest.raises(ConstraintViolated):
+            cluster.invoke("pmo", project, "unassign", member)
+
+    def test_closing_project_allows_unassign(self, cluster):
+        member, project = wire(cluster)
+        cluster.invoke("pmo", project, "activate")
+        cluster.invoke("pmo", project, "close")
+        cluster.invoke("hr", member, "set_active_project", None)
+        assert cluster.invoke("pmo", project, "unassign", member) == 0
+
+    def test_start_week_resets_hours(self, cluster):
+        member, project = wire(cluster)
+        cluster.invoke("hr", member, "log_hours", 10.0)
+        cluster.invoke("hr", member, "start_week")
+        assert cluster.entity_on("hr", member).get_hours_logged() == 0.0
+
+
+class TestDegradedMode:
+    def test_cross_node_constraint_produces_threat(self, cluster):
+        member, project = wire(cluster)
+        cluster.partition({"hr"}, {"pmo", "backup"})
+        # logging hours validates AssignmentConsistency against the stale
+        # project replica: a threat, accepted statically
+        cluster.invoke("hr", member, "log_hours", 5.0)
+        assert cluster.threat_stores["hr"].count_identities() >= 1
+
+    def test_non_tradeable_workload_limit_blocks_in_partition(self, cluster):
+        member, project = wire(cluster)
+        cluster.invoke("hr", member, "log_hours", 39.0)
+        cluster.partition({"hr"}, {"pmo", "backup"})
+        with pytest.raises((ConstraintViolated, ConsistencyThreatRejected)):
+            cluster.invoke("hr", member, "log_hours", 5.0)
+
+    def test_intra_object_budget_stays_reliable_in_degraded_mode(self, cluster):
+        # §3.1: under merge-by-selection reconciliation, intra-object
+        # constraints (ProjectBudget) validate reliably on a stale replica
+        # — no consistency threat is produced at all.
+        member, project = wire(cluster)
+        cluster.invoke("pmo", project, "charge", 500.0)
+        cluster.partition({"hr", "pmo"}, {"backup"})
+        cluster.invoke("pmo", project, "charge", 300.0)
+        assert cluster.threat_stores["pmo"].count_identities() == 0
+        cluster.heal()
+        report = cluster.reconcile()
+        assert report.threats_reevaluated == 0
+        # the missed update reached the isolated node
+        assert cluster.entity_on("backup", project).get_cost() == 800.0

@@ -1,0 +1,168 @@
+"""Tests for consistency threats and the persistent threat store."""
+
+import pytest
+
+from repro.core import (
+    ConsistencyThreat,
+    ReconciliationInstructions,
+    SatisfactionDegree,
+    ThreatStoragePolicy,
+    ThreatStore,
+)
+from repro.objects import ObjectRef
+from repro.persistence import PersistenceEngine
+from repro.sim import SimClock
+
+REF = ObjectRef("Flight", "LH1")
+OTHER = ObjectRef("Flight", "LH2")
+
+
+def make_threat(constraint="TicketConstraint", ref=REF, degree=SatisfactionDegree.POSSIBLY_SATISFIED):
+    return ConsistencyThreat(constraint_name=constraint, degree=degree, context_ref=ref)
+
+
+@pytest.fixture
+def engine():
+    return PersistenceEngine(SimClock())
+
+
+class TestThreatIdentity:
+    def test_identity_combines_constraint_and_context(self):
+        assert make_threat().identity == ("TicketConstraint", REF)
+
+    def test_same_constraint_same_context_identical(self):
+        assert make_threat().identity == make_threat().identity
+
+    def test_different_context_not_identical(self):
+        assert make_threat(ref=REF).identity != make_threat(ref=OTHER).identity
+
+    def test_query_constraint_identity_without_context(self):
+        threat = make_threat(ref=None)
+        assert threat.identity == ("TicketConstraint", None)
+
+    def test_snapshot_serializable(self):
+        threat = make_threat()
+        snapshot = threat.snapshot()
+        assert snapshot["constraint"] == "TicketConstraint"
+        assert snapshot["degree"] == "POSSIBLY_SATISFIED"
+        assert snapshot["context"] == "Flight#LH1"
+
+    def test_threat_ids_unique(self):
+        assert make_threat().threat_id != make_threat().threat_id
+
+    def test_default_instructions(self):
+        instructions = ReconciliationInstructions()
+        assert not instructions.allow_rollback
+        assert not instructions.notify_on_replica_conflict
+
+
+class TestIdenticalOncePolicy:
+    def test_first_occurrence_is_new(self, engine):
+        store = ThreatStore(engine, ThreatStoragePolicy.IDENTICAL_ONCE)
+        stored, was_new = store.record(make_threat())
+        assert was_new
+        assert store.count_identities() == 1
+
+    def test_identical_absorbed(self, engine):
+        store = ThreatStore(engine, ThreatStoragePolicy.IDENTICAL_ONCE)
+        store.record(make_threat())
+        stored, was_new = store.record(make_threat())
+        assert not was_new
+        assert stored.occurrences == 2
+        assert store.stored_records() == 1
+        assert store.count_occurrences() == 2
+
+    def test_identical_uses_cheap_dedup_check(self, engine):
+        store = ThreatStore(engine, ThreatStoragePolicy.IDENTICAL_ONCE)
+        store.record(make_threat())
+        before = dict(engine.ledger.counts)
+        store.record(make_threat())
+        after = engine.ledger.counts
+        assert after.get("threat_dedup_check", 0) == before.get("threat_dedup_check", 0) + 1
+        assert after.get("threat_persist", 0) == before.get("threat_persist", 0)
+
+    def test_worst_degree_kept(self, engine):
+        store = ThreatStore(engine, ThreatStoragePolicy.IDENTICAL_ONCE)
+        store.record(make_threat(degree=SatisfactionDegree.POSSIBLY_SATISFIED))
+        stored, _ = store.record(make_threat(degree=SatisfactionDegree.POSSIBLY_VIOLATED))
+        assert stored.degree is SatisfactionDegree.POSSIBLY_VIOLATED
+
+    def test_different_contexts_stored_separately(self, engine):
+        store = ThreatStore(engine, ThreatStoragePolicy.IDENTICAL_ONCE)
+        store.record(make_threat(ref=REF))
+        store.record(make_threat(ref=OTHER))
+        assert store.count_identities() == 2
+
+
+class TestFullHistoryPolicy:
+    def test_every_occurrence_persisted(self, engine):
+        store = ThreatStore(engine, ThreatStoragePolicy.FULL_HISTORY)
+        store.record(make_threat())
+        store.record(make_threat())
+        store.record(make_threat())
+        assert store.count_identities() == 1
+        assert store.stored_records() == 3
+
+    def test_identical_cheaper_than_initial(self, engine):
+        # §5.2: three DB objects initially, two per additional identical
+        # threat — modelled as threat_persist vs threat_persist_identical.
+        store = ThreatStore(engine, ThreatStoragePolicy.FULL_HISTORY)
+        store.record(make_threat())
+        store.record(make_threat())
+        assert engine.ledger.counts["threat_persist"] == 1
+        assert engine.ledger.counts["threat_persist_identical"] == 1
+
+
+class TestResolution:
+    def test_remove_deletes_all_identical(self, engine):
+        store = ThreatStore(engine, ThreatStoragePolicy.FULL_HISTORY)
+        store.record(make_threat())
+        store.record(make_threat())
+        removed = store.remove(("TicketConstraint", REF))
+        assert removed == 2
+        assert store.count_identities() == 0
+        assert len(engine.table("consistency_threats")) == 0
+
+    def test_remove_missing_is_zero(self, engine):
+        store = ThreatStore(engine)
+        assert store.remove(("Ghost", None)) == 0
+
+    def test_pending_returns_representatives(self, engine):
+        store = ThreatStore(engine)
+        store.record(make_threat(ref=REF))
+        store.record(make_threat(ref=OTHER))
+        assert len(store.pending()) == 2
+
+    def test_mark_deferred(self, engine):
+        store = ThreatStore(engine)
+        store.record(make_threat())
+        store.mark_deferred(("TicketConstraint", REF))
+        assert store.pending()[0].deferred
+
+    def test_mark_deferred_missing_raises(self, engine):
+        store = ThreatStore(engine)
+        with pytest.raises(KeyError):
+            store.mark_deferred(("Ghost", None))
+
+    def test_contains(self, engine):
+        store = ThreatStore(engine)
+        store.record(make_threat())
+        assert ("TicketConstraint", REF) in store
+        assert ("Other", REF) not in store
+
+    def test_clear(self, engine):
+        store = ThreatStore(engine)
+        store.record(make_threat())
+        store.clear()
+        assert store.count_identities() == 0
+
+    def test_apply_remote_records(self, engine):
+        store = ThreatStore(engine)
+        store.apply_remote(make_threat())
+        assert store.count_identities() == 1
+
+    def test_persisted_rows_match(self, engine):
+        store = ThreatStore(engine)
+        store.record(make_threat())
+        table = engine.table("consistency_threats")
+        assert len(table) == 1

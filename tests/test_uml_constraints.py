@@ -1,0 +1,127 @@
+"""Tests for the UML-notation constraint factories (§1.5)."""
+
+import pytest
+
+from repro import ClusterConfig, DedisysCluster
+from repro.core import ConstraintScope, ConstraintValidationContext, ConstraintViolated
+from repro.core.metadata import AffectedMethod, ConstraintRegistration
+from repro.core.uml_constraints import (
+    cardinality_constraint,
+    not_null_constraint,
+    unique_constraint,
+    xor_constraint,
+)
+from repro.objects import Entity
+
+
+class Booking(Entity):
+    fields = {"seat": None, "cargo_slot": None, "passengers": (), "code": ""}
+
+
+def ctx_for(entity):
+    return ConstraintValidationContext(context_object=entity)
+
+
+class TestCardinality:
+    def test_within_bounds(self):
+        constraint = cardinality_constraint("C", "Booking", "passengers", minimum=1, maximum=3)
+        booking = Booking("b1", passengers=("p1", "p2"))
+        assert constraint.validate(ctx_for(booking))
+
+    def test_below_minimum(self):
+        constraint = cardinality_constraint("C", "Booking", "passengers", minimum=1)
+        booking = Booking("b1", passengers=())
+        assert not constraint.validate(ctx_for(booking))
+
+    def test_above_maximum(self):
+        constraint = cardinality_constraint("C", "Booking", "passengers", maximum=1)
+        booking = Booking("b1", passengers=("p1", "p2"))
+        assert not constraint.validate(ctx_for(booking))
+
+    def test_none_counts_as_empty(self):
+        constraint = cardinality_constraint("C", "Booking", "passengers", maximum=2)
+        booking = Booking("b1", passengers=None)
+        assert constraint.validate(ctx_for(booking))
+
+    def test_open_upper_bound(self):
+        constraint = cardinality_constraint("C", "Booking", "passengers", minimum=0)
+        booking = Booking("b1", passengers=tuple(f"p{i}" for i in range(50)))
+        assert constraint.validate(ctx_for(booking))
+        assert "*" in constraint.description
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            cardinality_constraint("C", "Booking", "passengers")
+        with pytest.raises(ValueError):
+            cardinality_constraint("C", "Booking", "passengers", minimum=-1)
+        with pytest.raises(ValueError):
+            cardinality_constraint("C", "Booking", "passengers", minimum=3, maximum=1)
+
+    def test_intra_object_scope(self):
+        constraint = cardinality_constraint("C", "Booking", "passengers", minimum=0, maximum=9)
+        assert constraint.scope is ConstraintScope.INTRA_OBJECT
+
+
+class TestXor:
+    def test_exactly_one_set(self):
+        constraint = xor_constraint("X", "Booking", "seat", "cargo_slot")
+        assert constraint.validate(ctx_for(Booking("b1", seat="12A")))
+        assert constraint.validate(ctx_for(Booking("b2", cargo_slot="C3")))
+
+    def test_both_set_violates(self):
+        constraint = xor_constraint("X", "Booking", "seat", "cargo_slot")
+        assert not constraint.validate(ctx_for(Booking("b1", seat="12A", cargo_slot="C3")))
+
+    def test_neither_set_violates(self):
+        constraint = xor_constraint("X", "Booking", "seat", "cargo_slot")
+        assert not constraint.validate(ctx_for(Booking("b1")))
+
+
+class TestNotNull:
+    def test_set_and_unset(self):
+        constraint = not_null_constraint("N", "Booking", "seat")
+        assert constraint.validate(ctx_for(Booking("b1", seat="1A")))
+        assert not constraint.validate(ctx_for(Booking("b2")))
+
+
+class TestUniqueness:
+    def test_unique_within_container(self):
+        cluster = DedisysCluster(ClusterConfig(node_ids=("a",), enable_replication=False))
+        cluster.deploy(Booking)
+        constraint = unique_constraint("U", "Booking", "code")
+        cluster.register_constraint(
+            ConstraintRegistration(constraint, (AffectedMethod("Booking", "set_code"),))
+        )
+        first = cluster.create_entity("a", "Booking", "b1")
+        second = cluster.create_entity("a", "Booking", "b2")
+        cluster.invoke("a", first, "set_code", "XYZ")
+        with pytest.raises(ConstraintViolated):
+            cluster.invoke("a", second, "set_code", "XYZ")
+        cluster.invoke("a", second, "set_code", "ABC")
+
+    def test_unwired_entity_vacuously_unique(self):
+        constraint = unique_constraint("U", "Booking", "code")
+        assert constraint.validate(ctx_for(Booking("b1", code="X")))
+
+    def test_inter_object_scope(self):
+        assert unique_constraint("U", "Booking", "code").scope is ConstraintScope.INTER_OBJECT
+
+
+class TestMiddlewareIntegration:
+    def test_xor_enforced_on_cluster(self):
+        cluster = DedisysCluster(ClusterConfig(node_ids=("a", "b")))
+        cluster.deploy(Booking)
+        constraint = xor_constraint("SeatOrCargo", "Booking", "seat", "cargo_slot")
+        cluster.register_constraint(
+            ConstraintRegistration(
+                constraint,
+                (
+                    AffectedMethod("Booking", "set_seat"),
+                    AffectedMethod("Booking", "set_cargo_slot"),
+                ),
+            )
+        )
+        ref = cluster.create_entity("a", "Booking", "b1", {"seat": "12A"})
+        with pytest.raises(ConstraintViolated):
+            cluster.invoke("a", ref, "set_cargo_slot", "C3")
+        assert cluster.entity_on("b", ref).get_cargo_slot() is None
