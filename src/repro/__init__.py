@@ -36,6 +36,7 @@ from .core import (
     ThreatStoragePolicy,
 )
 from .objects import Entity, ObjectRef
+from .obs import Observability
 from .sim import CostModel
 
 __version__ = "1.0.0"
@@ -60,6 +61,7 @@ __all__ = [
     "Entity",
     "NegotiationDecision",
     "ObjectRef",
+    "Observability",
     "PredicateConstraint",
     "SatisfactionDegree",
     "ThreatStoragePolicy",

@@ -51,6 +51,7 @@ from .objects import (
     Node,
     ObjectRef,
 )
+from .obs import NullObservability, Observability, ensure_obs
 from .replication import (
     AdaptiveVotingProtocol,
     PersistenceInterceptor,
@@ -96,6 +97,10 @@ class ClusterConfig:
     node_weights: Mapping[NodeId, float] | None = None
     replicate_threats: bool = True
     seed: int = 0
+    # Optional observability hub (metrics + sim-time tracing).  ``None``
+    # attaches the shared no-op hub: zero instrumentation state, zero
+    # simulated-time cost.
+    obs: Observability | NullObservability | None = None
 
 
 class DedisysCluster:
@@ -106,17 +111,20 @@ class DedisysCluster:
         self.clock = SimClock()
         self.scheduler = Scheduler(self.clock)
         self.ledger = CostLedger()
+        self.obs = ensure_obs(self.config.obs)
+        self.obs.bind_clock(self.clock)
         self.network = SimNetwork(
             self.config.node_ids,
             scheduler=self.scheduler,
             costs=self.config.costs,
             seed=self.config.seed,
+            obs=self.obs,
         )
         self.network.ledger = self.ledger
         self.gms = GroupMembershipService(self.network, self.config.node_weights)
         self.mode_tracker = SystemModeTracker(self.gms, self.clock)
         self.channel = GroupChannel(self.network)
-        self.txmgr = TransactionManager()
+        self.txmgr = TransactionManager(obs=self.obs)
         self.naming = NamingService()
         self.location = LocationService()
 
@@ -159,6 +167,7 @@ class DedisysCluster:
                     negotiator=Negotiator(self.config.default_min_degree),
                     staleness=staleness,
                     config=CCMConfig(replicate_threats=self.config.replicate_threats),
+                    obs=self.obs,
                 )
                 ccmgr.gms = self.gms
                 ccmgr.threat_replicator = self._make_threat_replicator(node_id)
@@ -190,7 +199,7 @@ class DedisysCluster:
             if self.replication is not None:
                 server.append(ReplicationServerInterceptor(node, self.replication))
             if node_id in self.ccmgrs:
-                server.append(CCMInterceptor(node, self.ccmgrs[node_id]))
+                server.append(CCMInterceptor(node, self.ccmgrs[node_id], obs=self.obs))
             server.append(PersistenceInterceptor(node))
             server.append(ContainerInvoker(node))
             node.invocation_service.client_chain = InterceptorChain(client)
@@ -407,6 +416,26 @@ class DedisysCluster:
     def mode_of(self, node_id: NodeId) -> SystemMode:
         """The node's perceived Fig. 1.4 system state."""
         return self.mode_tracker.mode_of(node_id)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Metrics + trace digest of everything observed so far.
+
+        Returns the no-op hub's empty snapshot when no observability was
+        attached via :attr:`ClusterConfig.obs`.
+        """
+        return self.obs.snapshot()
+
+    def export_trace(self, target: Any) -> int:
+        """Write the buffered event trace as JSON lines to ``target``
+        (path or text stream); returns the number of lines written."""
+        return self.obs.export_jsonl(target)
+
+    def obs_summary(self) -> str:
+        """Human-readable per-event-type digest of the buffered trace."""
+        return self.obs.summary()
 
     # ------------------------------------------------------------------
     # measurement helpers

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Protocol
 
 from ..net import UnreachableError
+from ..obs import ensure_obs
 from ..objects import (
     Entity,
     Invocation,
@@ -102,6 +103,7 @@ class ConstraintConsistencyManager:
         negotiator: Negotiator | None = None,
         staleness: StalenessProvider | None = None,
         config: CCMConfig | None = None,
+        obs: Any = None,
     ) -> None:
         self.node = node
         self.repository = repository
@@ -109,6 +111,16 @@ class ConstraintConsistencyManager:
         self.negotiator = negotiator if negotiator is not None else Negotiator()
         self.staleness = staleness if staleness is not None else NullStalenessProvider()
         self.config = config if config is not None else CCMConfig()
+        self.obs = ensure_obs(obs)
+        self._m_validations = self.obs.registry.counter(
+            "ccm_validations_total", "constraint validations, by degree and category"
+        )
+        self._m_threats = self.obs.registry.counter(
+            "ccm_threats_total", "consistency threats, by action taken"
+        )
+        self._m_violations = self.obs.registry.counter(
+            "ccm_violations_total", "definite constraint violations"
+        )
         # Set by the cluster facade; used for partition-weight exposure and
         # degraded-mode detection.
         self.gms: Any = None
@@ -292,10 +304,18 @@ class ConstraintConsistencyManager:
                 and self.config.merge_by_selection
             )
             if not intra_safe:
-                if degree is SatisfactionDegree.SATISFIED:
-                    degree = SatisfactionDegree.POSSIBLY_SATISFIED
-                elif degree is SatisfactionDegree.VIOLATED:
-                    degree = SatisfactionDegree.POSSIBLY_VIOLATED
+                degree = degree.degrade_for_staleness()
+        if self.obs.enabled:
+            self._m_validations.inc(degree=degree.name, category=category.name)
+            self.obs.emit(
+                "validation",
+                node=str(self.node.node_id),
+                constraint=constraint.name,
+                degree=degree,
+                category=category,
+                stale=len(stale),
+                unreachable=len(unreachable),
+            )
         return ValidationOutcome(
             constraint=constraint,
             degree=degree,
@@ -324,11 +344,13 @@ class ConstraintConsistencyManager:
             return
         if outcome.degree is SatisfactionDegree.VIOLATED:
             self.stats["violations"] += 1
+            self._m_violations.inc(constraint=constraint.name)
             if tx is not None:
                 tx.set_rollback_only(f"constraint {constraint.name} violated")
             raise ConstraintViolated(constraint.name, outcome.context_ref)
         # A consistency threat.
         self.stats["threats_detected"] += 1
+        self._note_threat("detected", constraint.name, outcome.degree)
         threat = ConsistencyThreat(
             constraint_name=constraint.name,
             degree=outcome.degree,
@@ -341,6 +363,9 @@ class ConstraintConsistencyManager:
             # Threats for non-tradeable constraints are automatically
             # rejected (§3.2).
             self.stats["threats_rejected"] += 1
+            self._note_threat(
+                "rejected", constraint.name, outcome.degree, mechanism="non-tradeable"
+            )
             if tx is not None:
                 tx.set_rollback_only(
                     f"threat for non-tradeable constraint {constraint.name}"
@@ -354,6 +379,9 @@ class ConstraintConsistencyManager:
         )
         if not result.accepted:
             self.stats["threats_rejected"] += 1
+            self._note_threat(
+                "rejected", constraint.name, outcome.degree, mechanism=result.mechanism
+            )
             if tx is not None:
                 tx.set_rollback_only(
                     f"threat for constraint {constraint.name} rejected"
@@ -362,6 +390,9 @@ class ConstraintConsistencyManager:
                 constraint.name, outcome.degree.name, result.mechanism, outcome.context_ref
             )
         self.stats["threats_accepted"] += 1
+        self._note_threat(
+            "accepted", constraint.name, outcome.degree, mechanism=result.mechanism
+        )
         self._persist_threat(threat)
 
     # ------------------------------------------------------------------
@@ -447,7 +478,33 @@ class ConstraintConsistencyManager:
         )
         self.stats["threats_detected"] += 1
         self.stats["threats_accepted"] += 1
+        self._note_threat("detected", registration.name, SatisfactionDegree.UNCHECKABLE)
+        self._note_threat(
+            "accepted",
+            registration.name,
+            SatisfactionDegree.UNCHECKABLE,
+            mechanism="async-direct",
+        )
         self._persist_threat(threat)
+
+    def _note_threat(
+        self,
+        action: str,
+        constraint_name: str,
+        degree: SatisfactionDegree,
+        mechanism: str | None = None,
+    ) -> None:
+        if not self.obs.enabled:
+            return
+        self._m_threats.inc(action=action)
+        self.obs.emit(
+            "threat",
+            node=str(self.node.node_id),
+            constraint=constraint_name,
+            degree=degree,
+            action=action,
+            mechanism=mechanism,
+        )
 
     def _persist_threat(self, threat: ConsistencyThreat) -> None:
         stored, was_new = self.threat_store.record(threat)

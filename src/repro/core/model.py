@@ -106,6 +106,35 @@ class SatisfactionDegree(enum.Enum):
             SatisfactionDegree.UNCHECKABLE,
         )
 
+    def meet(self, other: "SatisfactionDegree") -> "SatisfactionDegree":
+        """Greatest lower bound: the worse of the two results.
+
+        On a total order the meet is simply the minimum; it is the
+        pairwise form of :meth:`combine`.
+        """
+        return self if self <= other else other
+
+    def join(self, other: "SatisfactionDegree") -> "SatisfactionDegree":
+        """Least upper bound: the better of the two results."""
+        return self if self >= other else other
+
+    def degrade_for_staleness(self) -> "SatisfactionDegree":
+        """The §3.1 LCC degradation of a validation result.
+
+        When a validation read possibly-stale replicas its definite
+        answers lose their certainty: ``SATISFIED`` weakens to
+        ``POSSIBLY_SATISFIED`` and ``VIOLATED`` to ``POSSIBLY_VIOLATED``;
+        the already-uncertain degrees are fixed points.  The result is
+        always a consistency threat, and the map preserves the lattice
+        order of the definite chain (violated/possibly-violated/
+        possibly-satisfied/satisfied).
+        """
+        if self is SatisfactionDegree.SATISFIED:
+            return SatisfactionDegree.POSSIBLY_SATISFIED
+        if self is SatisfactionDegree.VIOLATED:
+            return SatisfactionDegree.POSSIBLY_VIOLATED
+        return self
+
     @staticmethod
     def combine(degrees: Iterable["SatisfactionDegree"]) -> "SatisfactionDegree":
         """Combine the results of a set of constraints (§3.1).

@@ -83,11 +83,13 @@ def build_cluster(
     replication: bool = True,
     policy: ThreatStoragePolicy = ThreatStoragePolicy.IDENTICAL_ONCE,
     constraint_types: Mapping[str, ConstraintType] | None = None,
+    obs: Any = None,
 ) -> DedisysCluster:
     """A cluster with the evaluation bean deployed.
 
     ``constraint_types`` optionally overrides constraint types by name
     (e.g. making ``ThreatProducer`` soft or asynchronous for §5.5.3).
+    ``obs`` optionally attaches an :class:`~repro.obs.Observability` hub.
     """
     node_ids = tuple(f"n{i}" for i in range(1, nodes + 1))
     cluster = DedisysCluster(
@@ -96,6 +98,7 @@ def build_cluster(
             enable_ccm=ccm,
             enable_replication=replication,
             threat_policy=policy,
+            obs=obs,
         )
     )
     cluster.deploy(TestBean)
@@ -223,6 +226,26 @@ def figure_5_1(count: int = 50) -> dict[str, OperationRates]:
     return {
         "with_ccm": measure_operations(with_ccm, "n1", count, ops),
         "without_ccm": measure_operations(without_ccm, "n1", count, ops),
+    }
+
+
+def figure_5_1_obs_overhead(count: int = 50) -> dict[str, Any]:
+    """The Fig. 5.1 workload with and without an observability hub.
+
+    Metrics and tracing never advance the simulated clock, so the
+    attached-registry rates must match the bare rates; the returned
+    snapshot lets benchmarks export the collected metrics as JSON.
+    """
+    from ..obs import Observability
+
+    ops = ("create", "setter", "getter", "empty", "delete")
+    bare = build_cluster(nodes=1, ccm=True, replication=False)
+    hub = Observability()
+    observed = build_cluster(nodes=1, ccm=True, replication=False, obs=hub)
+    return {
+        "without_obs": measure_operations(bare, "n1", count, ops),
+        "with_obs": measure_operations(observed, "n1", count, ops),
+        "snapshot": observed.snapshot(),
     }
 
 

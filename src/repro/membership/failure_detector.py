@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..net import NodeId, SimNetwork
+from ..obs import ensure_obs
 from ..sim import Scheduler
 
 SuspicionListener = Callable[[NodeId, NodeId, bool], None]
@@ -43,10 +44,15 @@ class HeartbeatFailureDetector:
         scheduler: Scheduler | None = None,
         period: float = 0.5,
         timeout: float = 1.6,
+        obs: "object | None" = None,
     ) -> None:
         if period <= 0 or timeout <= period:
             raise ValueError("need 0 < period < timeout")
         self.network = network
+        self.obs = ensure_obs(obs) if obs is not None else network.obs
+        self._m_suspicions = self.obs.registry.counter(
+            "fd_suspicion_events_total", "suspicion raise/clear events"
+        )
         self.scheduler = scheduler if scheduler is not None else network.scheduler
         self.period = period
         self.timeout = timeout
@@ -123,6 +129,14 @@ class HeartbeatFailureDetector:
 
     def _emit(self, observer: NodeId, subject: NodeId, suspected: bool, now: float) -> None:
         self.events.append(SuspicionEvent(observer, subject, suspected, now))
+        if self.obs.enabled:
+            self._m_suspicions.inc(suspected=suspected)
+            self.obs.emit(
+                "suspicion",
+                node=str(observer),
+                subject=subject,
+                suspected=suspected,
+            )
         for listener in self._listeners:
             listener(observer, subject, suspected)
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
 from ..net import NodeId, SimNetwork
+from ..obs import ensure_obs
 
 ViewListener = Callable[[NodeId, "View", "View"], None]
 
@@ -53,8 +54,13 @@ class GroupMembershipService:
         self,
         network: SimNetwork,
         weights: Mapping[NodeId, float] | None = None,
+        obs: "object | None" = None,
     ) -> None:
         self.network = network
+        self.obs = ensure_obs(obs) if obs is not None else network.obs
+        self._m_view_changes = self.obs.registry.counter(
+            "gms_view_changes_total", "per-node membership view changes"
+        )
         self._view_ids = itertools.count(1)
         self._views: dict[NodeId, View] = {}
         self._listeners: list[ViewListener] = []
@@ -97,6 +103,16 @@ class GroupMembershipService:
                 new = View(next(self._view_ids), current)
                 self._views[node] = new
                 changes.append((node, old, new))
+        if self.obs.enabled:
+            for node, old, new in changes:
+                self._m_view_changes.inc(node=node)
+                self.obs.emit(
+                    "view_change",
+                    node=str(node),
+                    members=new.members,
+                    joined=new.joined(old),
+                    left=new.left(old),
+                )
         for node, old, new in changes:
             for listener in self._listeners:
                 listener(node, old, new)

@@ -14,7 +14,7 @@ from typing import Any, Callable
 
 from ..sim import CostModel
 from .messages import Message, NodeCrashedError, NodeId
-from .network import SimNetwork
+from .network import SimNetwork, payload_size
 
 
 class GroupChannel:
@@ -24,6 +24,13 @@ class GroupChannel:
         self.network = network
         self.group = group
         self._handlers: dict[NodeId, Callable[[Message], Any]] = {}
+        self.obs = network.obs
+        self._m_multicasts = self.obs.registry.counter(
+            "net_multicasts_total", "group multicast rounds, by message kind"
+        )
+        self._m_recipients = self.obs.registry.counter(
+            "net_multicast_deliveries_total", "per-recipient multicast deliveries"
+        )
 
     def join(self, node: NodeId, handler: Callable[[Message], Any]) -> None:
         """Register ``node`` as a group member with a delivery handler."""
@@ -68,6 +75,17 @@ class GroupChannel:
         if recipients:
             self.network.scheduler.clock.advance(
                 self.network.ledger.charge("multicast", duration)
+            )
+        if self.obs.enabled:
+            self._m_multicasts.inc(kind=kind)
+            self._m_recipients.inc(len(recipients), kind=kind)
+            self.obs.emit(
+                "multicast",
+                node=str(source),
+                kind=kind,
+                recipients=sorted(recipients),
+                bytes=payload_size(payload),
+                await_acks=await_acks,
             )
         replies: dict[NodeId, Any] = {}
         for node in recipients:

@@ -15,8 +15,18 @@ import random
 from collections import deque
 from typing import Any, Callable, Iterable, Sequence
 
+from ..obs import ensure_obs
 from ..sim import CostLedger, CostModel, Scheduler
 from .messages import Message, NodeCrashedError, NodeId, UnreachableError
+
+
+def payload_size(payload: Any) -> int:
+    """Deterministic byte estimate of a message payload.
+
+    The simulation never serializes for real; the ``repr`` length is a
+    stable, cheap stand-in good enough for per-link traffic accounting.
+    """
+    return len(repr(payload))
 
 
 class SimNetwork:
@@ -29,6 +39,7 @@ class SimNetwork:
         costs: CostModel | None = None,
         loss_probability: float = 0.0,
         seed: int = 0,
+        obs: Any = None,
     ) -> None:
         if len(set(nodes)) != len(nodes):
             raise ValueError("duplicate node ids")
@@ -47,6 +58,16 @@ class SimNetwork:
         self._handlers: dict[NodeId, Callable[[Message], Any]] = {}
         self._delivered: list[Message] = []
         self._topology_listeners: list[Callable[[], None]] = []
+        self.obs = ensure_obs(obs)
+        self._m_sent = self.obs.registry.counter(
+            "net_messages_sent_total", "point-to-point messages delivered, by kind"
+        )
+        self._m_dropped = self.obs.registry.counter(
+            "net_messages_dropped_total", "messages not delivered, by reason"
+        )
+        self._m_link_bytes = self.obs.registry.counter(
+            "net_link_bytes_total", "estimated payload bytes per directed link"
+        )
 
     # ------------------------------------------------------------------
     # topology control
@@ -185,15 +206,29 @@ class SimNetwork:
         the sender cannot tell a lost message from a partition).
         """
         if source in self._crashed:
+            self._drop(source, destination, kind, "source-crashed")
             raise NodeCrashedError(source)
         if not self.reachable(source, destination):
+            self._drop(source, destination, kind, "unreachable")
             raise UnreachableError(source, destination)
         if self.loss_probability and self._rng.random() < self.loss_probability:
+            self._drop(source, destination, kind, "loss")
             raise UnreachableError(source, destination)
         message = Message(source, destination, kind, payload)
         if source != destination:
             self.scheduler.clock.advance(
                 self.ledger.charge("network_latency", self.costs.network_latency)
+            )
+        if self.obs.enabled:
+            size = payload_size(payload)
+            self._m_sent.inc(kind=kind)
+            self._m_link_bytes.inc(size, link=f"{source}->{destination}")
+            self.obs.emit(
+                "message_send",
+                node=str(source),
+                destination=destination,
+                kind=kind,
+                bytes=size,
             )
         self._delivered.append(message)
         handler = self._handlers.get(destination)
@@ -226,6 +261,24 @@ class SimNetwork:
         if node not in self.nodes:
             raise KeyError(f"unknown node {node!r}")
 
+    def _drop(self, source: NodeId, destination: NodeId, kind: str, reason: str) -> None:
+        if self.obs.enabled:
+            self._m_dropped.inc(reason=reason)
+            self.obs.emit(
+                "message_drop",
+                node=str(source),
+                destination=destination,
+                kind=kind,
+                reason=reason,
+            )
+
     def _notify_topology(self) -> None:
+        if self.obs.enabled:
+            self.obs.emit(
+                "topology_change",
+                partitions=[sorted(p) for p in self.partitions()],
+                crashed=sorted(self._crashed),
+                failed_links=sorted(sorted(link) for link in self._failed_links),
+            )
         for listener in self._topology_listeners:
             listener()

@@ -1,0 +1,65 @@
+"""Observability: metrics and sim-time event tracing for the middleware.
+
+The dissertation evaluates the middleware by measuring it — invocation
+overhead, validation counts, negotiation outcomes, replication traffic,
+availability under partitions.  This package makes those quantities
+first-class: a :class:`MetricsRegistry` of labelled counters, gauges and
+histograms, a :class:`Tracer` recording typed events stamped with
+*simulated* time, and pluggable sinks.  Attach an :class:`Observability`
+hub via ``ClusterConfig(obs=...)``; without one, every hook is a no-op.
+"""
+
+from .hub import NULL_OBS, NullObservability, Observability, ensure_obs
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    LabelCardinalityError,
+    MetricsRegistry,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    NullRegistry,
+    label_key,
+)
+from .sinks import (
+    JsonLinesSink,
+    NullSink,
+    RingBufferSink,
+    SummarySink,
+    TraceSink,
+    read_jsonl,
+    write_jsonl,
+)
+from .tracing import EVENT_TYPES, NullTracer, TraceEvent, Tracer, jsonable
+
+__all__ = [
+    "EVENT_TYPES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "JsonLinesSink",
+    "LabelCardinalityError",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullObservability",
+    "NullRegistry",
+    "NullSink",
+    "NullTracer",
+    "Observability",
+    "RingBufferSink",
+    "SummarySink",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "ensure_obs",
+    "jsonable",
+    "label_key",
+    "read_jsonl",
+    "write_jsonl",
+]

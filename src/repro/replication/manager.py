@@ -20,6 +20,7 @@ from typing import Any, Callable, Mapping
 from ..membership import GroupMembershipService
 from ..net import GroupChannel, Message, NodeId, SimNetwork, UnreachableError
 from ..objects import Entity, Node, ObjectNotFound, ObjectRef
+from ..obs import ensure_obs
 from .protocols import ReplicationProtocol
 
 
@@ -86,12 +87,25 @@ class ReplicationManager:
         channel: GroupChannel,
         protocol: ReplicationProtocol,
         join_channel: bool = True,
+        obs: Any = None,
     ) -> None:
         self.nodes = dict(nodes)
         self.network = network
         self.gms = gms
         self.channel = channel
         self.protocol = protocol
+        self.obs = ensure_obs(obs) if obs is not None else network.obs
+        self._m_updates = self.obs.registry.counter(
+            "repl_updates_total", "primary-to-backup update rounds, by kind"
+        )
+        self._m_promotions = self.obs.registry.counter(
+            "repl_primary_promotions_total",
+            "temporary-primary promotions (designated primary unreachable)",
+        )
+        self._m_conflicts = self.obs.registry.counter(
+            "repl_conflicts_total", "write-write replica conflicts detected"
+        )
+        protocol.promotion_hook = self._note_promotion
         self._replicas: dict[ObjectRef, ReplicaInfo] = {}
         self._replicated_classes: set[str] = set()
         self.epoch = 0
@@ -141,6 +155,16 @@ class ReplicationManager:
             "replica-create",
             {"ref": ref, "state": state},
         )
+        if self.obs.enabled:
+            self._m_updates.inc(kind="create")
+            self.obs.emit(
+                "replication_update",
+                node=str(primary),
+                ref=ref,
+                kind="create",
+                version=0,
+                degraded=self._is_degraded(partition),
+            )
         if self._is_degraded(partition):
             self._record_update(ref, "create", primary, 0, state, partition)
 
@@ -150,6 +174,16 @@ class ReplicationManager:
         self.nodes[primary].persistence.charge("db_write")
         partition = self.network.partition_of(primary)
         self.channel.multicast(primary, "replica-delete", {"ref": ref})
+        if self.obs.enabled:
+            self._m_updates.inc(kind="delete")
+            self.obs.emit(
+                "replication_update",
+                node=str(primary),
+                ref=ref,
+                kind="delete",
+                version=0,
+                degraded=self._is_degraded(partition),
+            )
         if self._is_degraded(partition):
             self._record_update(ref, "delete", primary, 0, None, partition)
         else:
@@ -202,6 +236,16 @@ class ReplicationManager:
             "replica-update",
             {"ref": ref, "state": state, "version": entity.version},
         )
+        if self.obs.enabled:
+            self._m_updates.inc(kind="state")
+            self.obs.emit(
+                "replication_update",
+                node=str(primary),
+                ref=ref,
+                kind="state",
+                version=entity.version,
+                degraded=self._is_degraded(partition),
+            )
         if self._is_degraded(partition):
             self.nodes[primary].state_history.record(
                 ref, entity.version, state, partition_epoch=self.epoch
@@ -260,6 +304,17 @@ class ReplicationManager:
                 conflicts.append(resolved)
         self._update_records = remaining
         self.conflicts_detected.extend(conflicts)
+        if self.obs.enabled and conflicts:
+            self._m_conflicts.inc(len(conflicts))
+            for conflict in conflicts:
+                self.obs.emit(
+                    "replication_conflict",
+                    ref=conflict.ref,
+                    candidates=len(conflict.candidates),
+                    chosen_node=(
+                        str(conflict.chosen.node) if conflict.chosen is not None else None
+                    ),
+                )
         return conflicts
 
     def clear_conflicts(self) -> None:
@@ -346,6 +401,17 @@ class ReplicationManager:
 
     def pending_update_records(self) -> list[UpdateRecord]:
         return list(self._update_records)
+
+    def _note_promotion(self, temporary: NodeId) -> None:
+        """Protocol callback: a temporary primary replaced the designated
+        one (the P4 promotion of §4.3)."""
+        if self.obs.enabled:
+            self._m_promotions.inc(protocol=self.protocol.name)
+            self.obs.emit(
+                "primary_promotion",
+                node=str(temporary),
+                protocol=self.protocol.name,
+            )
 
     def _is_degraded(self, partition: frozenset[NodeId]) -> bool:
         return len(partition) < len(self.network.nodes)

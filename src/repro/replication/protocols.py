@@ -21,7 +21,7 @@ views are possibly stale.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..net import NodeId
 
@@ -30,6 +30,11 @@ class ReplicationProtocol:
     """Strategy interface for replica control decisions."""
 
     name = "abstract"
+
+    # Observability callback invoked whenever a *temporary* primary is
+    # chosen in place of the designated one (a P4 promotion).  Set by the
+    # replication manager; ``None`` means nobody is watching.
+    promotion_hook: Callable[[NodeId], None] | None = None
 
     def write_node(
         self,
@@ -50,14 +55,17 @@ class ReplicationProtocol:
         """Whether local views in ``partition`` may have missed updates."""
         raise NotImplementedError
 
-    @staticmethod
     def _temporary_primary(
-        replica_nodes: Sequence[NodeId], partition: frozenset[NodeId]
+        self, replica_nodes: Sequence[NodeId], partition: frozenset[NodeId]
     ) -> NodeId | None:
         """Deterministic choice of a temporary primary: the smallest
         replica node id inside the partition."""
         candidates = sorted(node for node in replica_nodes if node in partition)
-        return candidates[0] if candidates else None
+        if not candidates:
+            return None
+        if self.promotion_hook is not None:
+            self.promotion_hook(candidates[0])
+        return candidates[0]
 
 
 class PrimaryPerPartitionProtocol(ReplicationProtocol):

@@ -10,6 +10,8 @@ shapes of the paper's measurements deterministically.
 
 from __future__ import annotations
 
+import math
+
 
 class SimClock:
     """A monotonically advancing simulated clock.
@@ -17,9 +19,14 @@ class SimClock:
     Time is kept in seconds as a float.  The clock only moves forward;
     attempting to move it backwards raises ``ValueError`` so that modelling
     bugs surface immediately instead of silently corrupting measurements.
+    Non-finite moves (``NaN``, ``inf``) are rejected for the same reason:
+    ``NaN < 0`` is false, so without the explicit check a single ``NaN``
+    cost would silently poison every later timestamp.
     """
 
     def __init__(self, start: float = 0.0) -> None:
+        if not math.isfinite(start):
+            raise ValueError(f"clock start must be finite, got {start}")
         if start < 0:
             raise ValueError("clock cannot start before time zero")
         self._now = float(start)
@@ -31,6 +38,8 @@ class SimClock:
 
     def advance(self, seconds: float) -> float:
         """Advance the clock by ``seconds`` and return the new time."""
+        if not math.isfinite(seconds):
+            raise ValueError(f"cannot advance clock by non-finite time: {seconds}")
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time: {seconds}")
         self._now += seconds
@@ -41,6 +50,8 @@ class SimClock:
 
         Jumping to the current time is a no-op; jumping backwards raises.
         """
+        if not math.isfinite(timestamp):
+            raise ValueError(f"cannot move clock to non-finite time: {timestamp}")
         if timestamp < self._now:
             raise ValueError(
                 f"cannot move clock backwards: now={self._now}, target={timestamp}"

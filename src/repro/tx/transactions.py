@@ -20,6 +20,8 @@ import enum
 import itertools
 from typing import Any, Callable, Protocol
 
+from ..obs import ensure_obs
+
 
 class TransactionStatus(enum.Enum):
     ACTIVE = "active"
@@ -165,10 +167,17 @@ class TransactionManager:
     transaction context).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Any = None) -> None:
         self._current: Transaction | None = None
         self.committed_count = 0
         self.rolled_back_count = 0
+        self.obs = ensure_obs(obs)
+        self._m_commits = self.obs.registry.counter(
+            "tx_commits_total", "transactions committed"
+        )
+        self._m_rollbacks = self.obs.registry.counter(
+            "tx_rollbacks_total", "transactions rolled back"
+        )
 
     @property
     def current(self) -> Transaction | None:
@@ -192,8 +201,12 @@ class TransactionManager:
         try:
             tx._commit()
             self.committed_count += 1
+            if self.obs.enabled:
+                self._m_commits.inc()
+                self.obs.emit("tx_commit")
         except TransactionRolledBack:
             self.rolled_back_count += 1
+            self._note_rollback(tx)
             raise
         finally:
             self._current = None
@@ -203,8 +216,14 @@ class TransactionManager:
         try:
             tx._rollback()
             self.rolled_back_count += 1
+            self._note_rollback(tx)
         finally:
             self._current = None
+
+    def _note_rollback(self, tx: Transaction) -> None:
+        if self.obs.enabled:
+            self._m_rollbacks.inc()
+            self.obs.emit("tx_rollback", reason=tx.rollback_reason)
 
     def run(self, body: Callable[[Transaction], Any]) -> Any:
         """Run ``body`` inside a fresh transaction; commit on success.

@@ -1,0 +1,62 @@
+"""Shared pytest configuration.
+
+Registers the ``obs`` marker (also declared in ``pyproject.toml``) and a
+small line-coverage collector for the observability package.  The
+container deliberately ships without coverage tooling, so the collector
+is hand-rolled on :func:`sys.settrace`: it activates only while a test
+marked ``obs`` runs and records only lines of files inside
+``src/repro/obs``.  ``tests/test_zz_obs_coverage.py`` (named so it runs
+last) compares the recorded lines against the package's executable lines
+and enforces the >=90% floor.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any
+
+import pytest
+
+import repro.obs
+
+OBS_PACKAGE_DIR = str(Path(repro.obs.__file__).resolve().parent)
+
+
+class ObsCoveragePlugin:
+    """Collects executed line numbers for ``repro.obs`` modules."""
+
+    def __init__(self) -> None:
+        self.executed: dict[str, set[int]] = {}
+        self.obs_tests_run = 0
+
+    # trace machinery --------------------------------------------------
+    def _trace_lines(self, frame: Any, event: str, arg: Any) -> Any:
+        if event == "line":
+            lines = self.executed.setdefault(frame.f_code.co_filename, set())
+            lines.add(frame.f_lineno)
+        return self._trace_lines
+
+    def _trace_calls(self, frame: Any, event: str, arg: Any) -> Any:
+        if frame.f_code.co_filename.startswith(OBS_PACKAGE_DIR):
+            return self._trace_lines
+        return None
+
+    # pytest hooks -----------------------------------------------------
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(self, item: pytest.Item) -> Any:
+        if item.get_closest_marker("obs") is None:
+            return (yield)
+        self.obs_tests_run += 1
+        previous = sys.gettrace()
+        sys.settrace(self._trace_calls)
+        try:
+            return (yield)
+        finally:
+            sys.settrace(previous)
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    plugin = ObsCoveragePlugin()
+    config.obs_coverage = plugin  # type: ignore[attr-defined]
+    config.pluginmanager.register(plugin, "obs-coverage")

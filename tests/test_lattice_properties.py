@@ -1,0 +1,166 @@
+"""Property-based tests for the five-valued satisfaction-degree lattice.
+
+§3.1 orders validation results ``VIOLATED < UNCHECKABLE <
+POSSIBLY_VIOLATED < POSSIBLY_SATISFIED < SATISFIED``.  The properties
+pin down that this is a total order, that ``meet``/``join`` are the
+lattice operations (closed, commutative, associative, idempotent,
+absorbing), that ``combine`` is the meet-fold, and that the LCC
+staleness degradation behaves as specified (idempotent, always yields a
+threat, order-preserving on the definite chain).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core import SatisfactionDegree
+
+DEGREES = list(SatisfactionDegree)
+
+# The "definite chain" excludes UNCHECKABLE: degradation maps definite
+# answers to their uncertain counterparts and is monotone there (it is
+# deliberately *not* monotone over the full order, since UNCHECKABLE
+# sits between VIOLATED and POSSIBLY_VIOLATED yet stays fixed).
+DEFINITE_CHAIN = [
+    SatisfactionDegree.VIOLATED,
+    SatisfactionDegree.POSSIBLY_VIOLATED,
+    SatisfactionDegree.POSSIBLY_SATISFIED,
+    SatisfactionDegree.SATISFIED,
+]
+
+degrees = st.sampled_from(DEGREES)
+definite = st.sampled_from(DEFINITE_CHAIN)
+
+
+class TestOrdering:
+    def test_declared_order(self):
+        assert (
+            SatisfactionDegree.VIOLATED
+            < SatisfactionDegree.UNCHECKABLE
+            < SatisfactionDegree.POSSIBLY_VIOLATED
+            < SatisfactionDegree.POSSIBLY_SATISFIED
+            < SatisfactionDegree.SATISFIED
+        )
+
+    @given(degrees, degrees)
+    def test_totality(self, a, b):
+        # exactly one of <, ==, > holds for any pair
+        assert sum((a < b, a == b, b < a)) == 1
+
+    @given(degrees, degrees)
+    def test_antisymmetry(self, a, b):
+        if a <= b and b <= a:
+            assert a == b
+
+    @given(degrees, degrees, degrees)
+    def test_transitivity(self, a, b, c):
+        if a <= b and b <= c:
+            assert a <= c
+
+
+class TestMeetJoin:
+    @given(degrees, degrees)
+    def test_closure(self, a, b):
+        assert a.meet(b) in DEGREES
+        assert a.join(b) in DEGREES
+
+    @given(degrees, degrees)
+    def test_meet_is_greatest_lower_bound(self, a, b):
+        lower = a.meet(b)
+        assert lower <= a and lower <= b
+        assert lower in (a, b)  # total order: glb is one of the operands
+
+    @given(degrees, degrees)
+    def test_join_is_least_upper_bound(self, a, b):
+        upper = a.join(b)
+        assert upper >= a and upper >= b
+        assert upper in (a, b)
+
+    @given(degrees, degrees)
+    def test_commutativity(self, a, b):
+        assert a.meet(b) == b.meet(a)
+        assert a.join(b) == b.join(a)
+
+    @given(degrees, degrees, degrees)
+    def test_associativity(self, a, b, c):
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(degrees)
+    def test_idempotence(self, a):
+        assert a.meet(a) == a
+        assert a.join(a) == a
+
+    @given(degrees, degrees)
+    def test_absorption(self, a, b):
+        assert a.meet(a.join(b)) == a
+        assert a.join(a.meet(b)) == a
+
+    @given(degrees)
+    def test_bounds(self, a):
+        assert a.meet(SatisfactionDegree.VIOLATED) == SatisfactionDegree.VIOLATED
+        assert a.join(SatisfactionDegree.SATISFIED) == SatisfactionDegree.SATISFIED
+        assert a.meet(SatisfactionDegree.SATISFIED) == a
+        assert a.join(SatisfactionDegree.VIOLATED) == a
+
+
+class TestCombine:
+    @given(st.lists(degrees, max_size=8))
+    def test_combine_is_meet_fold(self, items):
+        folded = SatisfactionDegree.SATISFIED
+        for degree in items:
+            folded = folded.meet(degree)
+        assert SatisfactionDegree.combine(items) == folded
+
+    def test_empty_set_is_vacuously_satisfied(self):
+        assert SatisfactionDegree.combine([]) == SatisfactionDegree.SATISFIED
+
+    @given(st.lists(degrees, min_size=1, max_size=8))
+    def test_combine_is_the_minimum(self, items):
+        assert SatisfactionDegree.combine(items) == min(items, key=lambda d: d.value)
+
+    @given(st.lists(degrees, max_size=8), st.lists(degrees, max_size=8))
+    def test_combine_is_order_insensitive(self, a, b):
+        assert SatisfactionDegree.combine(a + b) == SatisfactionDegree.combine(b + a)
+
+    @given(st.lists(degrees, max_size=8))
+    def test_any_violation_dominates(self, items):
+        combined = SatisfactionDegree.combine(items + [SatisfactionDegree.VIOLATED])
+        assert combined == SatisfactionDegree.VIOLATED
+
+
+class TestStalenessDegradation:
+    def test_definite_answers_lose_certainty(self):
+        assert (
+            SatisfactionDegree.SATISFIED.degrade_for_staleness()
+            == SatisfactionDegree.POSSIBLY_SATISFIED
+        )
+        assert (
+            SatisfactionDegree.VIOLATED.degrade_for_staleness()
+            == SatisfactionDegree.POSSIBLY_VIOLATED
+        )
+
+    @given(degrees)
+    def test_always_yields_a_threat(self, a):
+        # After reading possibly-stale replicas no result is definite:
+        # every degraded degree is a consistency threat (§3.1).
+        assert a.degrade_for_staleness().is_threat
+
+    @given(degrees)
+    def test_idempotent(self, a):
+        once = a.degrade_for_staleness()
+        assert once.degrade_for_staleness() == once
+
+    @given(definite, definite)
+    def test_monotone_on_definite_chain(self, a, b):
+        if a <= b:
+            assert a.degrade_for_staleness() <= b.degrade_for_staleness()
+
+    @given(degrees)
+    def test_uncertain_degrees_are_fixed_points(self, a):
+        if a.is_threat:
+            assert a.degrade_for_staleness() == a
+
+    @given(degrees)
+    def test_never_improves_a_definite_violation(self, a):
+        # Degradation moves results toward the uncertain middle but a
+        # violated result must never degrade all the way to satisfied.
+        assert a.degrade_for_staleness() != SatisfactionDegree.SATISFIED

@@ -51,6 +51,27 @@ class TestSimClock:
         clock.advance_to(5.0)
         assert clock.now == 5.0
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_advance_rejects_nonfinite(self, bad):
+        # NaN < 0 is false, so without the explicit finiteness check a
+        # single NaN cost would silently poison every later timestamp.
+        clock = SimClock(1.0)
+        with pytest.raises(ValueError):
+            clock.advance(bad)
+        assert clock.now == 1.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_advance_to_rejects_nonfinite(self, bad):
+        clock = SimClock(1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(bad)
+        assert clock.now == 1.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_nonfinite_start(self, bad):
+        with pytest.raises(ValueError):
+            SimClock(bad)
+
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
     def test_clock_is_monotonic(self, increments):
         clock = SimClock()

@@ -1,0 +1,86 @@
+"""Coverage floor for the observability package.
+
+The container has no coverage tooling, so this is self-contained: the
+``ObsCoveragePlugin`` in ``conftest.py`` records executed lines of
+``src/repro/obs`` while ``obs``-marked tests run, and this module —
+named ``zz`` so it collects after every other test file — compares them
+against the package's executable lines, computed from the compiled code
+objects.  The floor is 90%.
+
+Executable lines are the ``co_lines()`` of every function code object
+(``CO_OPTIMIZED`` flag); module/class-body lines run at import time,
+before tracing starts, and are excluded, as are ``def`` header lines and
+lines annotated ``pragma: no cover``.
+"""
+
+from __future__ import annotations
+
+import types
+from pathlib import Path
+
+import pytest
+
+import repro.obs
+
+CO_OPTIMIZED = 0x0001
+FLOOR = 0.90
+MIN_OBS_TESTS = 5
+
+OBS_DIR = Path(repro.obs.__file__).resolve().parent
+
+
+def expected_lines(path: Path) -> set[int]:
+    """Line numbers this file is expected to execute under the trace."""
+    source = path.read_text(encoding="utf-8")
+    source_lines = source.splitlines()
+    lines: set[int] = set()
+    stack = [compile(source, str(path), "exec")]
+    while stack:
+        code = stack.pop()
+        if code.co_flags & CO_OPTIMIZED:
+            for _, _, line in code.co_lines():
+                if line is not None and line != code.co_firstlineno:
+                    lines.add(line)
+        stack.extend(
+            const for const in code.co_consts if isinstance(const, types.CodeType)
+        )
+    return {
+        line
+        for line in lines
+        if not (
+            0 < line <= len(source_lines)
+            and "pragma: no cover" in source_lines[line - 1]
+        )
+    }
+
+
+@pytest.mark.obs
+def test_obs_package_line_coverage_floor(request):
+    plugin = request.config.obs_coverage
+    if plugin.obs_tests_run < MIN_OBS_TESTS:
+        pytest.skip(
+            "obs test suite did not run in this session; "
+            "coverage floor needs the full suite"
+        )
+
+    total_expected = 0
+    total_covered = 0
+    missing_report: list[str] = []
+    for path in sorted(OBS_DIR.glob("*.py")):
+        expected = expected_lines(path)
+        if not expected:
+            continue
+        executed = plugin.executed.get(str(path), set())
+        missing = sorted(expected - executed)
+        total_expected += len(expected)
+        total_covered += len(expected) - len(missing)
+        if missing:
+            missing_report.append(f"{path.name}: {missing}")
+
+    assert total_expected > 0, "no executable lines found in repro.obs"
+    ratio = total_covered / total_expected
+    assert ratio >= FLOOR, (
+        f"repro.obs line coverage {ratio:.1%} is below the {FLOOR:.0%} floor "
+        f"({total_covered}/{total_expected} lines); missing:\n  "
+        + "\n  ".join(missing_report)
+    )
