@@ -35,6 +35,15 @@ from .core import (
     SatisfactionDegree,
     ThreatStoragePolicy,
 )
+from .faults import (
+    ChaosConfig,
+    ChaosRunner,
+    FaultInjector,
+    FaultSchedule,
+    GilbertElliottLoss,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from .objects import Entity, ObjectRef
 from .obs import Observability
 from .sim import CostModel
@@ -46,6 +55,8 @@ __all__ = [
     "AffectedMethod",
     "AuthorizationError",
     "CachingConstraintRepository",
+    "ChaosConfig",
+    "ChaosRunner",
     "ClusterConfig",
     "ConsistencyThreatRejected",
     "Constraint",
@@ -59,10 +70,15 @@ __all__ = [
     "CostModel",
     "DedisysCluster",
     "Entity",
+    "FaultInjector",
+    "FaultSchedule",
+    "GilbertElliottLoss",
     "NegotiationDecision",
     "ObjectRef",
     "Observability",
     "PredicateConstraint",
+    "ResilienceConfig",
+    "RetryPolicy",
     "SatisfactionDegree",
     "ThreatStoragePolicy",
     "__version__",

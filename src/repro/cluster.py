@@ -39,6 +39,7 @@ from .core import (
     register_negotiation_handler,
 )
 from .core.system_mode import SystemMode, SystemModeTracker
+from .faults import FaultInjector, ResilienceConfig, ResilienceInterceptor
 from .membership import GroupMembershipService
 from .net import GroupChannel, Message, NodeId, SimNetwork
 from .objects import (
@@ -101,6 +102,13 @@ class ClusterConfig:
     # attaches the shared no-op hub: zero instrumentation state, zero
     # simulated-time cost.
     obs: Observability | NullObservability | None = None
+    # Optional client-side resilience (retries, deadlines, circuit
+    # breakers).  ``None`` keeps the historical fail-fast behaviour: the
+    # first transient ``UnreachableError`` surfaces to the caller.
+    resilience: ResilienceConfig | None = None
+    # Optional fault injector installed on the simulated network (per-link
+    # burst loss, delay, duplication, kind filters).
+    fault_injector: FaultInjector | None = None
 
 
 class DedisysCluster:
@@ -121,6 +129,8 @@ class DedisysCluster:
             obs=self.obs,
         )
         self.network.ledger = self.ledger
+        if self.config.fault_injector is not None:
+            self.network.install_fault_injector(self.config.fault_injector)
         self.gms = GroupMembershipService(self.network, self.config.node_weights)
         self.mode_tracker = SystemModeTracker(self.gms, self.clock)
         self.channel = GroupChannel(self.network)
@@ -152,6 +162,10 @@ class DedisysCluster:
                 protocol,
                 join_channel=False,
             )
+            if self.config.resilience is not None:
+                self.replication.configure_resilience(
+                    self.config.resilience.retry, seed=self.config.resilience.seed
+                )
 
         self.threat_stores: dict[NodeId, ThreatStore] = {}
         self.ccmgrs: dict[NodeId, ConstraintConsistencyManager] = {}
@@ -190,11 +204,23 @@ class DedisysCluster:
     # wiring
     # ------------------------------------------------------------------
     def _wire_chains(self) -> None:
+        self.resilience_interceptors: dict[NodeId, ResilienceInterceptor] = {}
         for node_id, node in self.nodes.items():
-            client: list[Any] = [
-                CostInterceptor(node, hops=2),  # proxy + client chain
-                TransportInterceptor(node, self.network, self.location, self.replication),
-            ]
+            transport = TransportInterceptor(
+                node, self.network, self.location, self.replication
+            )
+            client: list[Any] = [CostInterceptor(node, hops=2)]  # proxy + client chain
+            if self.config.resilience is not None:
+                resilience = ResilienceInterceptor(
+                    node,
+                    self.network,
+                    self.config.resilience,
+                    router=transport._route,
+                    obs=self.obs,
+                )
+                self.resilience_interceptors[node_id] = resilience
+                client.append(resilience)
+            client.append(transport)
             server: list[Any] = [CostInterceptor(node, hops=2)]
             if self.replication is not None:
                 server.append(ReplicationServerInterceptor(node, self.replication))
@@ -397,6 +423,19 @@ class DedisysCluster:
 
     def heal(self) -> None:
         self.network.heal_all()
+
+    def install_fault_injector(self, injector: FaultInjector) -> FaultInjector:
+        """Attach per-link fault models to the simulated network."""
+        return self.network.install_fault_injector(injector)
+
+    def breaker_states(self) -> dict[NodeId, dict[NodeId, Any]]:
+        """Circuit-breaker states per client node (empty without resilience)."""
+        return {
+            node_id: interceptor.breaker_states()
+            for node_id, interceptor in getattr(
+                self, "resilience_interceptors", {}
+            ).items()
+        }
 
     def reconcile(
         self,

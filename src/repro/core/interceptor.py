@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from ..net import DeadlineExceededError
 from ..obs import ensure_obs
 from ..objects import Interceptor, Invocation, Node
 from .ccmgr import ConstraintConsistencyManager
@@ -49,6 +50,14 @@ class CCMInterceptor(Interceptor):
         )
 
     def intercept(self, invocation: Invocation, proceed: "Proceed") -> Any:
+        # Deadline propagation (server side): a call that arrives — after
+        # transport latency and redirects — later than its deadline allows
+        # is refused before any validation work is spent on it.
+        deadline = invocation.deadline
+        if deadline is not None and self.node.services.clock.now > deadline:
+            raise DeadlineExceededError(
+                invocation.ref, deadline, self.node.services.clock.now
+            )
         entity = self.node.container.resolve(invocation.ref)
         if not self.obs.enabled:
             self.ccmgr.before_invocation(invocation, entity)

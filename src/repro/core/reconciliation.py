@@ -176,7 +176,7 @@ class ReconciliationManager:
                     store.policy is ThreatStoragePolicy.FULL_HISTORY
                     or threat.identity not in store
                 ):
-                    self.channel.multicast(origin, "threat-propagate", threat_id)
+                    self.channel.multicast(origin, "threat-propagate", threat)
                     store.apply_remote(threat)
 
     # ------------------------------------------------------------------

@@ -59,7 +59,12 @@ class ConsistencyThreat:
     )
     timestamp: float = 0.0
     origin_node: str = ""
-    threat_id: int = field(default_factory=lambda: next(ConsistencyThreat._ids))
+    # repr=False: threat_id is a process-global counter, and payload sizes
+    # are estimated from ``repr`` — a run-dependent id width would break
+    # same-seed trace equality (see repro.obs.tracing).
+    threat_id: int = field(
+        default_factory=lambda: next(ConsistencyThreat._ids), repr=False
+    )
     occurrences: int = 1
     deferred: bool = False
 

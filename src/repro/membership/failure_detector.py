@@ -33,6 +33,12 @@ class SuspicionEvent:
     subject: NodeId
     suspected: bool
     timestamp: float
+    # Snapshot of the observer's last-heartbeat-received time for the
+    # subject at the moment the event fired.  ``detection_latency`` must
+    # use this snapshot: the live ``_last_seen`` entry is refreshed once
+    # the subject heals, which would corrupt (even negate) latencies
+    # computed after recovery.
+    last_seen: float = 0.0
 
 
 class HeartbeatFailureDetector:
@@ -128,7 +134,15 @@ class HeartbeatFailureDetector:
         self.scheduler.schedule_after(self.period, self._round, label="heartbeat")
 
     def _emit(self, observer: NodeId, subject: NodeId, suspected: bool, now: float) -> None:
-        self.events.append(SuspicionEvent(observer, subject, suspected, now))
+        self.events.append(
+            SuspicionEvent(
+                observer,
+                subject,
+                suspected,
+                now,
+                last_seen=self._last_seen[observer][subject],
+            )
+        )
         if self.obs.enabled:
             self._m_suspicions.inc(suspected=suspected)
             self.obs.emit(
@@ -142,8 +156,13 @@ class HeartbeatFailureDetector:
 
     def detection_latency(self, observer: NodeId, subject: NodeId) -> float | None:
         """Time from the most recent suspicion of ``subject`` back to the
-        last heartbeat received from it (None if never suspected)."""
+        last heartbeat received from it (None if never suspected).
+
+        Uses the last-seen time snapshotted in the suspicion event itself,
+        so the value stays correct after the subject heals and heartbeats
+        refresh the live bookkeeping.
+        """
         for event in reversed(self.events):
             if event.observer == observer and event.subject == subject and event.suspected:
-                return event.timestamp - self._last_seen[observer][subject]
+                return event.timestamp - event.last_seen
         return None

@@ -1,10 +1,17 @@
 """Simulated network substrate: links, partitions, crashes, multicast."""
 
-from .messages import Message, NodeCrashedError, NodeId, UnreachableError
+from .messages import (
+    DeadlineExceededError,
+    Message,
+    NodeCrashedError,
+    NodeId,
+    UnreachableError,
+)
 from .multicast import GroupChannel
 from .network import SimNetwork
 
 __all__ = [
+    "DeadlineExceededError",
     "GroupChannel",
     "Message",
     "NodeCrashedError",

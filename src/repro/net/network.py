@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from ..obs import ensure_obs
 from ..sim import CostLedger, CostModel, Scheduler
 from .messages import Message, NodeCrashedError, NodeId, UnreachableError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
 
 
 def payload_size(payload: Any) -> int:
@@ -58,6 +61,7 @@ class SimNetwork:
         self._handlers: dict[NodeId, Callable[[Message], Any]] = {}
         self._delivered: list[Message] = []
         self._topology_listeners: list[Callable[[], None]] = []
+        self.injector: "FaultInjector | None" = None
         self.obs = ensure_obs(obs)
         self._m_sent = self.obs.registry.counter(
             "net_messages_sent_total", "point-to-point messages delivered, by kind"
@@ -84,18 +88,37 @@ class SimNetwork:
         """
         self._topology_listeners.append(listener)
 
+    def install_fault_injector(self, injector: "FaultInjector") -> "FaultInjector":
+        """Attach a fault injector consulted on every point-to-point send."""
+        injector.bind_obs(self.obs)
+        self.injector = injector
+        return injector
+
     def fail_link(self, a: NodeId, b: NodeId) -> None:
-        """Fail the bidirectional link between ``a`` and ``b``."""
+        """Fail the bidirectional link between ``a`` and ``b``.
+
+        A no-op (no listener notification) when the link already failed.
+        """
         self._require_node(a)
         self._require_node(b)
         if a == b:
             raise ValueError("a node has no link to itself")
-        self._failed_links.add(frozenset((a, b)))
+        link = frozenset((a, b))
+        if link in self._failed_links:
+            return
+        self._failed_links.add(link)
         self._notify_topology()
 
     def heal_link(self, a: NodeId, b: NodeId) -> None:
-        """Repair the link between ``a`` and ``b``."""
-        self._failed_links.discard(frozenset((a, b)))
+        """Repair the link between ``a`` and ``b``.
+
+        A redundant heal of a healthy link changes nothing and therefore
+        notifies nobody — no spurious GMS view recomputations.
+        """
+        link = frozenset((a, b))
+        if link not in self._failed_links:
+            return
+        self._failed_links.discard(link)
         self._notify_topology()
 
     def partition(self, *groups: Iterable[NodeId]) -> None:
@@ -114,15 +137,24 @@ class SimNetwork:
         remainder_index = len(groups)
         for node in self.nodes:
             assigned.setdefault(node, remainder_index)
-        self._failed_links.clear()
-        for i, a in enumerate(self.nodes):
-            for b in self.nodes[i + 1 :]:
-                if assigned[a] != assigned[b]:
-                    self._failed_links.add(frozenset((a, b)))
+        new_failed = {
+            frozenset((a, b))
+            for i, a in enumerate(self.nodes)
+            for b in self.nodes[i + 1 :]
+            if assigned[a] != assigned[b]
+        }
+        if new_failed == self._failed_links:
+            return
+        self._failed_links = new_failed
         self._notify_topology()
 
     def heal_all(self) -> None:
-        """Repair every link and recover every crashed node."""
+        """Repair every link and recover every crashed node.
+
+        Notifies listeners only when there was something to repair.
+        """
+        if not self._failed_links and not self._crashed:
+            return
         self._failed_links.clear()
         self._crashed.clear()
         self._notify_topology()
@@ -130,11 +162,15 @@ class SimNetwork:
     def crash_node(self, node: NodeId) -> None:
         """Crash ``node`` (pause-crash: state survives, §1.1)."""
         self._require_node(node)
+        if node in self._crashed:
+            return
         self._crashed.add(node)
         self._notify_topology()
 
     def recover_node(self, node: NodeId) -> None:
-        """Recover a previously crashed node."""
+        """Recover a previously crashed node (no-op when not crashed)."""
+        if node not in self._crashed:
+            return
         self._crashed.discard(node)
         self._notify_topology()
 
@@ -214,6 +250,17 @@ class SimNetwork:
         if self.loss_probability and self._rng.random() < self.loss_probability:
             self._drop(source, destination, kind, "loss")
             raise UnreachableError(source, destination)
+        duplicates = 0
+        if self.injector is not None:
+            decision = self.injector.on_send(source, destination, kind, payload)
+            if decision.drop:
+                self._drop(source, destination, kind, decision.reason or "fault")
+                raise UnreachableError(source, destination)
+            if decision.extra_delay > 0.0:
+                self.scheduler.clock.advance(
+                    self.ledger.charge("fault_delay", decision.extra_delay)
+                )
+            duplicates = decision.duplicates
         message = Message(source, destination, kind, payload)
         if source != destination:
             self.scheduler.clock.advance(
@@ -234,7 +281,13 @@ class SimNetwork:
         handler = self._handlers.get(destination)
         if handler is None:
             return None
-        return handler(message)
+        result = handler(message)
+        # A duplicating fault delivers extra copies of the *same* message;
+        # the sender sees only the first result (as a real client would).
+        for _ in range(duplicates):
+            self._delivered.append(message)
+            handler(message)
+        return result
 
     @property
     def delivered_messages(self) -> list[Message]:

@@ -44,6 +44,10 @@ class Invocation:
         self.execution_node: NodeId | None = None
         self.result: Any = None
         self.redirected = False
+        # Absolute simulated-time deadline; ``None`` means unbounded.  Set
+        # by the client-side resilience interceptor (or the caller) and
+        # enforced at client retry points and server interception points.
+        self.deadline: float | None = None
         # Arbitrary payload associated by interceptors (security context,
         # transaction context, ... — "any desired additional payload can be
         # added to such an invocation", §5.3).
@@ -67,8 +71,12 @@ class Invocation:
         return not self.is_getter
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        # The process-global invocation_id stays out of the repr: the
+        # network's payload-size estimate is ``len(repr(payload))``, and a
+        # run-dependent id width would leak into traces and byte counters,
+        # breaking same-seed trace equality.
         return (
-            f"Invocation(#{self.invocation_id} {self.ref}.{self.method_name}"
+            f"Invocation({self.ref}.{self.method_name}"
             f" from {self.caller_node})"
         )
 

@@ -41,6 +41,13 @@ EVENT_TYPES = frozenset(
         "topology_change",
         "tx_commit",
         "tx_rollback",
+        # fault injection & resilience
+        "fault_injected",
+        "fault_event",
+        "retry",
+        "breaker_transition",
+        "breaker_fast_fail",
+        "deadline_exceeded",
     }
 )
 

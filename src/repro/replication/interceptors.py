@@ -80,9 +80,7 @@ class ReplicationServerInterceptor(Interceptor):
             target = self.replication.route_write(ref, node_id)
             if target != node_id:
                 invocation.redirected = True
-                return self.replication.network.send(
-                    node_id, target, "invocation", invocation
-                )
+                return self.replication.send_redirect(node_id, invocation)
         entity = self.node.container.resolve(ref)
         version_before = entity.version
         result = proceed()

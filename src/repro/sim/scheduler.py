@@ -95,13 +95,18 @@ class Scheduler:
     def step(self) -> Event | None:
         """Fire the next pending event, advancing the clock to it.
 
+        Synchronous cost charging (``clock.advance``) can move the clock
+        past a queued event's timestamp; such overdue events fire at the
+        current time rather than attempting to move the clock backwards.
+
         Returns the fired event, or ``None`` when the queue is empty.
         """
         while self._queue:
             item = heapq.heappop(self._queue)
             if item.event.cancelled:
                 continue
-            self.clock.advance_to(item.timestamp)
+            if item.timestamp > self.clock.now:
+                self.clock.advance_to(item.timestamp)
             item.event.fire()
             return item.event
         return None

@@ -96,6 +96,34 @@ class TestDetection:
         detector.run_for(2.0)
         assert detector.detection_latency("a", "b") is None
 
+    def test_detection_latency_stable_after_heal(self):
+        # Regression: the latency must come from the last-seen time
+        # snapshotted in the suspicion event.  Reading the *live*
+        # bookkeeping after the subject heals (and heartbeats refresh it)
+        # produced wrong — even negative — latencies.
+        network, detector = make_detector(period=0.5, timeout=1.6)
+        detector.run_for(2.0)
+        network.crash_node("b")
+        detector.run_for(4.0)
+        before_heal = detector.detection_latency("a", "b")
+        assert before_heal is not None
+        network.recover_node("b")
+        detector.run_for(5.0)  # fresh heartbeats refresh _last_seen["a"]["b"]
+        after_heal = detector.detection_latency("a", "b")
+        assert after_heal == before_heal
+        assert after_heal > 0
+
+    def test_suspicion_events_snapshot_last_seen(self):
+        network, detector = make_detector(period=0.5, timeout=1.6)
+        detector.run_for(2.0)
+        network.crash_node("c")
+        detector.run_for(4.0)
+        raised = [e for e in detector.events if e.suspected and e.subject == "c"]
+        assert raised
+        for event in raised:
+            assert event.last_seen <= event.timestamp
+            assert event.timestamp - event.last_seen > detector.timeout
+
     def test_stop_halts_rounds(self):
         network, detector = make_detector()
         detector.run_for(2.0)
