@@ -7,10 +7,28 @@ records included) and the CCMgr re-evaluates the threats — all satisfied,
 the best case.  Finding: replica reconciliation scales much worse with the
 full threat history because it cannot benefit from identifying identical
 threats, while constraint re-evaluation happens once per identity.
+
+The second benchmark measures the threat-propagation message count of
+digest anti-entropy against the historical rescan-and-multicast scheme
+and exports ``benchmarks/results/BENCH_reconcile.json``.  Set
+``BENCH_QUICK=1`` to run a reduced scale matrix (CI smoke mode).
 """
 
-from conftest import print_table
+import json
+import os
+import string
+
+from conftest import RESULTS_DIR, print_table
+from repro import ClusterConfig, DedisysCluster
+from repro.apps.flightbooking import Flight, ticket_constraint_registration
+from repro.core import AcceptAllHandler, ThreatStoragePolicy
 from repro.evaluation import figure_5_6
+from repro.obs import Observability
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+# (node_count, distinct threats, occurrences each)
+SCALES = ((4, 4, 2), (6, 8, 3)) if QUICK else ((4, 4, 2), (6, 8, 3), (8, 12, 4))
 
 
 def test_fig_5_6_reconciliation_time(benchmark):
@@ -64,3 +82,101 @@ def test_reconciliation_motivates_parallel_business(benchmark):
     # At ~100 ops/s healthy throughput, this reconciliation window would
     # block hundreds of business operations.
     assert total > 1.0
+
+
+def run_digest_scenario(node_count, distinct, occurrences):
+    """Partition one node away, record threats on the degraded majority,
+    heal, reconcile — and count the propagation messages."""
+    obs = Observability()
+    nodes = tuple(string.ascii_lowercase[:node_count])
+    cluster = DedisysCluster(
+        ClusterConfig(
+            node_ids=nodes,
+            obs=obs,
+            threat_policy=ThreatStoragePolicy.FULL_HISTORY,
+        )
+    )
+    cluster.deploy(Flight)
+    cluster.register_constraint(ticket_constraint_registration())
+    refs = [
+        cluster.create_entity(nodes[0], "Flight", f"LH{index}", {"seats": 500})
+        for index in range(distinct)
+    ]
+    cluster.partition(set(nodes[:-1]), {nodes[-1]})
+    handler = AcceptAllHandler()
+    for _ in range(occurrences):
+        for ref in refs:
+            cluster.invoke(nodes[0], ref, "sell_tickets", 1, negotiation_handler=handler)
+    # Historical scheme: every member rescans its store after the merge
+    # and multicasts each record to the group — one message per stored
+    # record per holder, i.e. ∝ nodes × threat records.
+    rescan_multicasts = sum(
+        cluster.threat_stores[node].stored_records() for node in nodes
+    )
+    cluster.heal()
+    report = cluster.reconcile()
+    multicasts = obs.registry.counter("net_multicasts_total", "")
+    digest_multicasts = int(multicasts.value(kind="threat-digest"))
+    sync_multicasts = int(multicasts.value(kind="threat-sync"))
+    return {
+        "node_count": node_count,
+        "distinct_threats": distinct,
+        "occurrences_each": occurrences,
+        "stored_records_total": rescan_multicasts,
+        "rescan_multicasts": rescan_multicasts,
+        "digest_multicasts": digest_multicasts,
+        "sync_multicasts": sync_multicasts,
+        "digest_total_multicasts": digest_multicasts + sync_multicasts,
+        "sync_records": report.threat_sync_records,
+        "sync_batches": report.threat_sync_batches,
+    }
+
+
+def test_digest_anti_entropy_message_scaling(benchmark):
+    """Digest anti-entropy ships missing records, not nodes × threats."""
+    entries = benchmark.pedantic(
+        lambda: [run_digest_scenario(*scale) for scale in SCALES],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for entry in entries:
+        rows.append(
+            [
+                entry["node_count"],
+                entry["distinct_threats"] * entry["occurrences_each"],
+                entry["rescan_multicasts"],
+                entry["digest_total_multicasts"],
+                f"{entry['rescan_multicasts'] / entry['digest_total_multicasts']:.1f}x",
+            ]
+        )
+    print_table(
+        "threat propagation multicasts — rescan vs digest anti-entropy",
+        ["nodes", "records", "rescan (old)", "digest (new)", "reduction"],
+        rows,
+    )
+
+    payload = {
+        "quick": QUICK,
+        "policy": "FULL_HISTORY",
+        "scales": entries,
+        "claim": "digest anti-entropy message count scales with missing "
+        "records, not nodes × threat records",
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_reconcile.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    ratios = []
+    for entry in entries:
+        missing = entry["distinct_threats"] * entry["occurrences_each"]
+        # Only the isolated node was missing records: one batch carries
+        # exactly its missing set.
+        assert entry["sync_batches"] == 1
+        assert entry["sync_records"] == missing
+        assert entry["digest_multicasts"] == entry["node_count"]
+        # The headline claim: fewer messages than one-per-record-per-holder.
+        assert entry["digest_total_multicasts"] < entry["rescan_multicasts"]
+        ratios.append(entry["rescan_multicasts"] / entry["digest_total_multicasts"])
+    # The reduction grows with scale instead of shrinking.
+    assert ratios == sorted(ratios)

@@ -185,6 +185,7 @@ class DedisysCluster:
                 )
                 ccmgr.gms = self.gms
                 ccmgr.threat_replicator = self._make_threat_replicator(node_id)
+                ccmgr.threat_resolver = self._make_threat_resolver(node_id)
                 self.ccmgrs[node_id] = ccmgr
 
         self._wire_chains()
@@ -259,7 +260,15 @@ class DedisysCluster:
             if message.kind == "threat-replicate":
                 self.threat_stores[node_id].apply_remote(message.payload)
                 return "ack"
-            if message.kind == "threat-propagate":
+            if message.kind == "threat-resolved":
+                store = self.threat_stores[node_id]
+                if message.payload in store:
+                    store.remove(message.payload)
+                return "ack"
+            if message.kind in ("threat-digest", "threat-sync"):
+                # Anti-entropy round: digests and record batches are
+                # interpreted by the reconciliation coordinator, members
+                # only confirm delivery.
                 return "ack"
             return "ignored"
 
@@ -270,6 +279,12 @@ class DedisysCluster:
             self.channel.multicast(node_id, "threat-replicate", threat)
 
         return replicate
+
+    def _make_threat_resolver(self, node_id: NodeId) -> Callable[[Any], None]:
+        def resolve(identity: Any) -> None:
+            self.channel.multicast(node_id, "threat-resolved", identity)
+
+        return resolve
 
     def _fallback_ccmgrs(self) -> dict[NodeId, ConstraintConsistencyManager]:
         """Minimal CCMgrs for reconciliation when CCM is disabled."""
@@ -442,12 +457,32 @@ class DedisysCluster:
         replica_handler: Any = None,
         constraint_handler: Any = None,
     ) -> ReconciliationReport:
-        partition = self.network.partitions()[0] if self.network.partitions() else frozenset()
-        self.mode_tracker.begin_reconciliation(partition)
-        report = self.reconciliation.reconcile(replica_handler, constraint_handler)
-        clean = report.postponed == 0 and report.deferred == 0
-        self.mode_tracker.finish_reconciliation(report.merged_partition or partition, clean)
-        return report
+        """Reconcile every merged partition group that changed since the
+        last run; the returned report aggregates the per-group reports
+        (kept in ``report.groups``)."""
+        partitions = self.network.partitions()
+        fallback = partitions[0] if partitions else frozenset()
+        due = self.reconciliation.due_groups()
+        if not due:
+            # Nothing merged and nothing stored — still complete the
+            # Fig. 1.4 state machine for nodes stuck in RECONCILIATION
+            # (e.g. after a deferred clean-up was finished by a business
+            # operation).
+            self.mode_tracker.begin_reconciliation(fallback)
+            self.mode_tracker.finish_reconciliation(fallback, clean=True)
+            return ReconciliationReport(
+                merged_partition=fallback, epoch=self.reconciliation.epoch
+            )
+        reports = []
+        for group in due:
+            self.mode_tracker.begin_reconciliation(group)
+            report = self.reconciliation.reconcile_group(
+                group, replica_handler, constraint_handler
+            )
+            clean = report.postponed == 0 and report.deferred == 0
+            self.mode_tracker.finish_reconciliation(group, clean)
+            reports.append(report)
+        return ReconciliationReport.aggregate(reports)
 
     def is_degraded(self) -> bool:
         return not self.network.is_healthy()

@@ -62,6 +62,7 @@ from .uml_constraints import (
 from .threats import (
     ConsistencyThreat,
     ReconciliationInstructions,
+    ThreatDigestEntry,
     ThreatStoragePolicy,
     ThreatStore,
 )
@@ -112,6 +113,7 @@ __all__ = [
     "StalenessProvider",
     "SystemMode",
     "SystemModeTracker",
+    "ThreatDigestEntry",
     "ThreatStoragePolicy",
     "ThreatStore",
     "ValidationOutcome",

@@ -126,6 +126,11 @@ class ConstraintConsistencyManager:
         self.gms: Any = None
         # Callback used to replicate accepted threats to partition members.
         self.threat_replicator: Any = None
+        # Callback used to propagate threat *resolutions*: a business
+        # operation satisfying the constraint again removes the stored
+        # threat (§4.4), and peers holding the replicated record must drop
+        # it the same way they received it.
+        self.threat_resolver: Any = None
         # Guard against infinite middleware/application loops: constraint
         # validation code may invoke entity methods through the middleware,
         # which must not trigger constraint validation again (§5.3).
@@ -341,6 +346,12 @@ class ConstraintConsistencyManager:
             identity = (constraint.name, outcome.context_ref)
             if identity in self.threat_store:
                 self.threat_store.remove(identity)
+                self._note_threat("resolved", constraint.name, outcome.degree)
+                if (
+                    self.config.replicate_threats
+                    and self.threat_resolver is not None
+                ):
+                    self.threat_resolver(identity)
             return
         if outcome.degree is SatisfactionDegree.VIOLATED:
             self.stats["violations"] += 1

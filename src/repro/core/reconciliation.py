@@ -22,19 +22,41 @@ consistent state in two steps:
      recorded persistently);
    * *still threatened* → re-evaluation is postponed until further
      partitions reunify.
+
+The manager is epoch-aware: every topology change bumps a partition epoch,
+and each node remembers the epoch at which its partition membership last
+changed.  A reconciliation run processes **every** merged partition group
+that changed since it was last reconciled — a partial heal that merges two
+minority partitions is reconciled even while a larger partition exists
+elsewhere.  Threat records propagate via a digest anti-entropy round: each
+member publishes a compact per-identity digest, the group coordinator
+computes per-node missing sets, and missing records ship in batched
+``threat-sync`` messages — message count proportional to the records
+actually missing, not nodes × threats.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
 
-from ..net import GroupChannel, NodeId, SimNetwork
+from ..net import (
+    THREAT_DIGEST,
+    THREAT_SYNC,
+    GroupChannel,
+    NodeId,
+    SimNetwork,
+)
 from ..objects import Node, ObjectRef
 from .ccmgr import ConstraintConsistencyManager
 from .model import SatisfactionDegree
 from .repository import ConstraintRepository
-from .threats import ConsistencyThreat, ThreatIdentity, ThreatStore
+from .threats import (
+    ConsistencyThreat,
+    ThreatIdentity,
+    ThreatStoragePolicy,
+    ThreatStore,
+)
 
 
 @dataclass
@@ -60,7 +82,12 @@ ConstraintReconciliationHandler = Callable[[ConstraintViolationReport], bool]
 
 @dataclass
 class ReconciliationReport:
-    """Outcome and timing of one reconciliation run."""
+    """Outcome and timing of one reconciliation run.
+
+    A run may reconcile several independently merged partition groups; the
+    top-level counters aggregate over all of them, with the per-group
+    breakdown kept in :attr:`groups`.
+    """
 
     merged_partition: frozenset[NodeId] = frozenset()
     replica_conflicts: int = 0
@@ -73,12 +100,55 @@ class ReconciliationReport:
     postponed: int = 0
     updates_rolled_back: int = 0
     conflict_notifications: int = 0
+    threat_sync_batches: int = 0
+    threat_sync_records: int = 0
     replica_phase_seconds: float = 0.0
     constraint_phase_seconds: float = 0.0
+    epoch: int = 0
+    groups: tuple["ReconciliationReport", ...] = ()
 
     @property
     def total_seconds(self) -> float:
         return self.replica_phase_seconds + self.constraint_phase_seconds
+
+    _SUMMED = (
+        "replica_conflicts",
+        "threats_reevaluated",
+        "satisfied_removed",
+        "violations_found",
+        "resolved_by_rollback",
+        "resolved_by_handler",
+        "deferred",
+        "postponed",
+        "updates_rolled_back",
+        "conflict_notifications",
+        "threat_sync_batches",
+        "threat_sync_records",
+        "replica_phase_seconds",
+        "constraint_phase_seconds",
+    )
+
+    @classmethod
+    def aggregate(cls, reports: Iterable["ReconciliationReport"]) -> "ReconciliationReport":
+        """Combine per-group reports into one run-level report."""
+        reports = tuple(reports)
+        combined = cls(groups=reports)
+        merged: frozenset[NodeId] = frozenset()
+        for report in reports:
+            merged |= report.merged_partition
+            combined.epoch = max(combined.epoch, report.epoch)
+            for name in cls._SUMMED:
+                setattr(combined, name, getattr(combined, name) + getattr(report, name))
+        combined.merged_partition = merged
+        return combined
+
+
+@dataclass
+class _ThreatSyncPlan:
+    """Records one node must receive during the anti-entropy round."""
+
+    destination: NodeId
+    records: list[ConsistencyThreat] = field(default_factory=list)
 
 
 class ReconciliationManager:
@@ -104,9 +174,67 @@ class ReconciliationManager:
         # Called when a satisfied threat had a replica conflict and asked
         # for notification (§3.3).
         self.on_conflict_notification: Callable[[ConsistencyThreat], None] | None = None
+        self.obs = network.obs
+        self._m_groups = self.obs.registry.counter(
+            "reconcile_groups", "merged partition groups reconciled"
+        )
+        self._m_sync_batches = self.obs.registry.counter(
+            "threat_sync_batches", "batched threat-sync messages shipped"
+        )
+        self._m_sync_records = self.obs.registry.counter(
+            "threat_sync_records", "threat records shipped during anti-entropy"
+        )
+        # Partition-epoch bookkeeping: ``epoch`` counts topology changes,
+        # ``_node_epoch[n]`` is the epoch at which n's partition membership
+        # last changed, ``_reconciled_epoch[n]`` the membership epoch the
+        # last reconciliation of n's group has seen.
+        self.epoch = 0
+        self._node_partition: dict[NodeId, frozenset[NodeId]] = {
+            node: network.partition_of(node) for node in self.nodes
+        }
+        self._node_epoch: dict[NodeId, int] = {node: 0 for node in self.nodes}
+        self._reconciled_epoch: dict[NodeId, int] = {node: 0 for node in self.nodes}
+        network.on_topology_change(self._on_topology_change)
 
     # ------------------------------------------------------------------
-    # entry point
+    # epoch tracking
+    # ------------------------------------------------------------------
+    def _on_topology_change(self) -> None:
+        self.epoch += 1
+        for node in self.nodes:
+            current = self.network.partition_of(node)
+            if current != self._node_partition[node]:
+                self._node_partition[node] = current
+                self._node_epoch[node] = self.epoch
+
+    def due_groups(self) -> list[frozenset[NodeId]]:
+        """Partition groups that need reconciliation, largest first.
+
+        A group is due when any member's partition membership changed since
+        that member was last reconciled, or when a member still stores
+        threats (burst loss can record threats without any topology
+        change).  Singleton groups have nothing to merge; they are marked
+        as seen without being reconciled — when they later reunify, the
+        merge itself bumps their epoch again.
+        """
+        due: list[frozenset[NodeId]] = []
+        for group in self.network.partitions():
+            if len(group) < 2:
+                for node in group:
+                    self._reconciled_epoch[node] = self._node_epoch[node]
+                continue
+            changed = any(
+                self._node_epoch[node] > self._reconciled_epoch[node] for node in group
+            )
+            pending = any(
+                self.threat_stores[node].count_identities() for node in group
+            )
+            if changed or pending:
+                due.append(group)
+        return due
+
+    # ------------------------------------------------------------------
+    # entry points
     # ------------------------------------------------------------------
     def reconcile(
         self,
@@ -114,70 +242,162 @@ class ReconciliationManager:
         constraint_handler: ConstraintReconciliationHandler | None = None,
         max_handler_retries: int = 3,
     ) -> ReconciliationReport:
-        """Run both reconciliation phases for the largest partition."""
-        report = ReconciliationReport()
-        partitions = self.network.partitions()
-        if not partitions:
-            return report
-        merged = partitions[0]
-        report.merged_partition = merged
+        """Reconcile every due partition group; aggregate the reports."""
+        return ReconciliationReport.aggregate(
+            self.reconcile_all(replica_handler, constraint_handler, max_handler_retries)
+        )
+
+    def reconcile_all(
+        self,
+        replica_handler: Any = None,
+        constraint_handler: ConstraintReconciliationHandler | None = None,
+        max_handler_retries: int = 3,
+    ) -> list[ReconciliationReport]:
+        """Run both phases for each due group; one report per group."""
+        return [
+            self.reconcile_group(
+                group, replica_handler, constraint_handler, max_handler_retries
+            )
+            for group in self.due_groups()
+        ]
+
+    def reconcile_group(
+        self,
+        merged: frozenset[NodeId],
+        replica_handler: Any = None,
+        constraint_handler: ConstraintReconciliationHandler | None = None,
+        max_handler_retries: int = 3,
+    ) -> ReconciliationReport:
+        """Run both reconciliation phases for one merged partition group."""
+        report = ReconciliationReport(merged_partition=merged, epoch=self.epoch)
         clock = self.network.scheduler.clock
+        coordinator = min(merged)
+        if self.obs.enabled:
+            self._m_groups.inc()
+            self.obs.emit(
+                "reconcile_group",
+                node=str(coordinator),
+                members=merged,
+                epoch=self.epoch,
+            )
 
         started = clock.now
         if self.replication is not None:
             conflicts = self.replication.reconcile_replicas(merged, replica_handler)
             report.replica_conflicts = len(conflicts)
-        self._propagate_threats(merged)
+        self._propagate_threats(merged, report)
         report.replica_phase_seconds = clock.now - started
 
         started = clock.now
         self._reconcile_constraints(merged, constraint_handler, max_handler_retries, report)
         report.constraint_phase_seconds = clock.now - started
-        if self.replication is not None and report.postponed == 0:
-            self.replication.clear_conflicts()
+        if self.replication is not None:
+            # Conflicts whose objects still have a surviving threat must
+            # keep answering ``had_replica_conflict`` on a later run —
+            # deferred and postponed threats are re-evaluated then.
+            self.replication.clear_conflicts(self._surviving_refs())
+        for node in merged:
+            self._reconciled_epoch[node] = self._node_epoch[node]
         return report
+
+    def _surviving_refs(self) -> set[ObjectRef]:
+        """Objects referenced by any threat still stored anywhere."""
+        refs: set[ObjectRef] = set()
+        for store in self.threat_stores.values():
+            for identity in store.identities():
+                for threat in store.occurrences_of(identity):
+                    refs.update(threat.affected_refs)
+                    if threat.context_ref is not None:
+                        refs.add(threat.context_ref)
+        return refs
 
     # ------------------------------------------------------------------
     # threat propagation (part of the replica phase)
     # ------------------------------------------------------------------
-    def _propagate_threats(self, merged: frozenset[NodeId]) -> None:
+    def _propagate_threats(
+        self, merged: frozenset[NodeId], report: ReconciliationReport
+    ) -> None:
         """Union the threat stores of the reunified partition.
 
-        Every threat record missing on a node is multicast and persisted
-        there — the cost that makes full-history storage expensive to
-        reconcile.
+        Digest anti-entropy: every member multicasts a compact digest
+        (identity → record ids / occurrence count), the coordinator
+        computes what each node is missing, and the missing records ship
+        in one batched ``threat-sync`` message per destination.  Applying
+        a record still pays the full persist cost on the receiving store —
+        the cost that makes full-history storage expensive to reconcile —
+        but the message count now scales with the records actually
+        missing instead of nodes × threats.
         """
         members = sorted(merged)
         if len(members) < 2:
             return
-        all_threats: dict[int, tuple[NodeId, ConsistencyThreat]] = {}
+        digests = {
+            node_id: self.threat_stores[node_id].digest() for node_id in members
+        }
+        if not any(digests.values()):
+            return
+        for node_id in members:
+            self.channel.multicast(node_id, THREAT_DIGEST, digests[node_id])
+
+        # The coordinator's union catalog: every known record, in
+        # deterministic (identity, threat_id) order, with the node that
+        # holds it.
+        catalog: dict[ThreatIdentity, dict[int, tuple[NodeId, ConsistencyThreat]]] = {}
         for node_id in members:
             store = self.threat_stores[node_id]
             for identity in store.identities():
+                records = catalog.setdefault(identity, {})
                 for threat in store.occurrences_of(identity):
-                    all_threats.setdefault(threat.threat_id, (node_id, threat))
-        from .threats import ThreatStoragePolicy
+                    records.setdefault(threat.threat_id, (node_id, threat))
 
-        for threat_id, (origin, threat) in sorted(all_threats.items()):
-            for node_id in members:
-                store = self.threat_stores[node_id]
-                known = any(
-                    existing.threat_id == threat_id
-                    for existing in store.occurrences_of(threat.identity)
+        plans = {node_id: _ThreatSyncPlan(node_id) for node_id in members}
+        planned: dict[NodeId, set[ThreatIdentity]] = {node_id: set() for node_id in members}
+        for identity in sorted(catalog, key=lambda item: (item[0], str(item[1]))):
+            records = catalog[identity]
+            for threat_id in sorted(records):
+                _holder, threat = records[threat_id]
+                for node_id in members:
+                    store = self.threat_stores[node_id]
+                    known = digests[node_id].get(identity)
+                    if known is not None and threat_id in known.record_ids:
+                        continue
+                    # Under the full-history policy every record is
+                    # replicated data and must be shipped; identical-once
+                    # nodes only need one record per missing identity
+                    # (§5.2: replica reconciliation cannot benefit from
+                    # identifying identical threats).
+                    if store.policy is not ThreatStoragePolicy.FULL_HISTORY and (
+                        known is not None or identity in planned[node_id]
+                    ):
+                        continue
+                    plans[node_id].records.append(threat)
+                    planned[node_id].add(identity)
+
+        coordinator = min(merged)
+        for node_id in members:
+            plan = plans[node_id]
+            if not plan.records:
+                continue
+            source = coordinator if node_id != coordinator else min(
+                node for node in members if node != node_id
+            )
+            for threat in plan.records:
+                self.nodes[node_id].persistence.charge("threat_sync_record")
+            self.channel.multicast(source, THREAT_SYNC, tuple(plan.records))
+            store = self.threat_stores[node_id]
+            for threat in plan.records:
+                store.apply_remote(threat)
+            report.threat_sync_batches += 1
+            report.threat_sync_records += len(plan.records)
+            if self.obs.enabled:
+                self._m_sync_batches.inc()
+                self._m_sync_records.inc(len(plan.records))
+                self.obs.emit(
+                    "threat_sync",
+                    node=str(node_id),
+                    source=str(source),
+                    records=len(plan.records),
                 )
-                if known:
-                    continue
-                # Under the full-history policy every record is replicated
-                # data and must be propagated; identical-once nodes only
-                # need one record per identity (§5.2: replica
-                # reconciliation cannot benefit from identifying identical
-                # threats).
-                if (
-                    store.policy is ThreatStoragePolicy.FULL_HISTORY
-                    or threat.identity not in store
-                ):
-                    self.channel.multicast(origin, "threat-propagate", threat)
-                    store.apply_remote(threat)
 
     # ------------------------------------------------------------------
     # constraint phase

@@ -87,7 +87,23 @@ class ConsistencyThreat:
             "occurrences": self.occurrences,
             "timestamp": self.timestamp,
             "origin_node": self.origin_node,
+            "deferred": self.deferred,
         }
+
+
+@dataclass
+class ThreatDigestEntry:
+    """Compact per-identity summary exchanged during anti-entropy.
+
+    ``record_ids`` and ``max_record_id`` carry process-global threat ids;
+    repr=False keeps them out of the payload-size estimate so same-seed
+    traces stay byte-identical (see repro.obs.tracing).
+    """
+
+    occurrences: int
+    records: int
+    record_ids: tuple[int, ...] = field(default=(), repr=False)
+    max_record_id: int = field(default=0, repr=False)
 
 
 class ThreatStoragePolicy(enum.Enum):
@@ -128,6 +144,10 @@ class ThreatStore:
                 head.occurrences += 1
                 if threat.degree < head.degree:
                     head.degree = threat.degree
+                # The absorbed occurrence mutated the head record
+                # (occurrence count, possibly degree) — rewrite its row so
+                # the persisted snapshot cannot go stale.
+                self._table.put(head.threat_id, head.snapshot(), cost="db_write")
                 return head, False
             self.engine.charge("threat_persist_identical")
             existing.append(threat)
@@ -171,6 +191,30 @@ class ThreatStore:
     def __contains__(self, identity: ThreatIdentity) -> bool:
         return identity in self._threats
 
+    def digest(self) -> dict[ThreatIdentity, ThreatDigestEntry]:
+        """Compact anti-entropy summary: one entry per stored identity.
+
+        Entries are built in sorted-identity order so the digest payload is
+        deterministic across same-seed runs.
+        """
+        summary: dict[ThreatIdentity, ThreatDigestEntry] = {}
+        for identity in sorted(self._threats, key=lambda item: (item[0], str(item[1]))):
+            threats = self._threats[identity]
+            ids = tuple(sorted(threat.threat_id for threat in threats))
+            summary[identity] = ThreatDigestEntry(
+                occurrences=sum(threat.occurrences for threat in threats),
+                records=len(threats),
+                record_ids=ids,
+                max_record_id=ids[-1],
+            )
+        return summary
+
+    def persisted_row(self, threat_id: int) -> dict[str, Any] | None:
+        """The on-disk snapshot of one threat record (test introspection)."""
+        if threat_id in self._table:
+            return self._table.get(threat_id)
+        return None
+
     # ------------------------------------------------------------------
     # resolution
     # ------------------------------------------------------------------
@@ -193,7 +237,7 @@ class ThreatStore:
             raise KeyError(f"no threat {identity!r}")
         for threat in threats:
             threat.deferred = True
-        self._table.put(threats[0].threat_id, threats[0].snapshot(), cost="db_write")
+            self._table.put(threat.threat_id, threat.snapshot(), cost="db_write")
 
     def clear(self) -> None:
         self._threats.clear()

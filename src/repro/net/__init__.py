@@ -1,6 +1,14 @@
 """Simulated network substrate: links, partitions, crashes, multicast."""
 
 from .messages import (
+    RECONCILIATION_KINDS,
+    REPLICA_CREATE,
+    REPLICA_DELETE,
+    REPLICA_UPDATE,
+    THREAT_DIGEST,
+    THREAT_REPLICATE,
+    THREAT_RESOLVED,
+    THREAT_SYNC,
     DeadlineExceededError,
     Message,
     NodeCrashedError,
@@ -16,6 +24,14 @@ __all__ = [
     "Message",
     "NodeCrashedError",
     "NodeId",
+    "RECONCILIATION_KINDS",
+    "REPLICA_CREATE",
+    "REPLICA_DELETE",
+    "REPLICA_UPDATE",
     "SimNetwork",
+    "THREAT_DIGEST",
+    "THREAT_REPLICATE",
+    "THREAT_RESOLVED",
+    "THREAT_SYNC",
     "UnreachableError",
 ]

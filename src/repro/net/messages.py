@@ -14,6 +14,26 @@ from typing import Any
 
 NodeId = str
 
+# Multicast kinds used by the replication service.
+REPLICA_CREATE = "replica-create"
+REPLICA_UPDATE = "replica-update"
+REPLICA_DELETE = "replica-delete"
+
+# Multicast kinds used by the constraint consistency service: accepted
+# threats are replicated to partition members, resolutions propagate the
+# §4.4 deferred-clean-up removal to the peers that hold the dead record.
+THREAT_REPLICATE = "threat-replicate"
+THREAT_RESOLVED = "threat-resolved"
+
+# Multicast kinds used by reconciliation's digest anti-entropy round:
+# every member publishes a compact per-identity digest, the coordinator
+# computes per-node missing sets, and missing records ship in batched
+# ``threat-sync`` messages.
+THREAT_DIGEST = "threat-digest"
+THREAT_SYNC = "threat-sync"
+
+RECONCILIATION_KINDS = frozenset({THREAT_DIGEST, THREAT_SYNC})
+
 _sequence = itertools.count(1)
 
 

@@ -39,6 +39,9 @@ EVENT_TYPES = frozenset(
         "message_drop",
         "multicast",
         "topology_change",
+        # reconciliation
+        "reconcile_group",
+        "threat_sync",
         "tx_commit",
         "tx_rollback",
         # fault injection & resilience

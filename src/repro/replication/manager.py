@@ -349,12 +349,14 @@ class ReplicationManager:
             else:
                 remaining.append(record)
         conflicts: list[ReplicaConflict] = []
+        # Swap in the survivor list first: a still-degraded merge re-records
+        # its result below, and those records must land in the live list.
+        self._update_records = remaining
         for ref in sorted(by_ref, key=str):
             records = by_ref[ref]
             resolved = self._reconcile_object(ref, records, merged_partition, handler)
             if resolved is not None:
                 conflicts.append(resolved)
-        self._update_records = remaining
         self.conflicts_detected.extend(conflicts)
         if self.obs.enabled and conflicts:
             self._m_conflicts.inc(len(conflicts))
@@ -369,9 +371,21 @@ class ReplicationManager:
                 )
         return conflicts
 
-    def clear_conflicts(self) -> None:
-        """Forget resolved conflicts (called when reconciliation ends)."""
-        self.conflicts_detected.clear()
+    def clear_conflicts(self, surviving_refs: set[ObjectRef] | None = None) -> None:
+        """Forget resolved conflicts (called when reconciliation ends).
+
+        With ``surviving_refs`` given, conflicts on those objects are kept:
+        deferred/postponed threats still need ``had_replica_conflict``
+        answers when they are re-evaluated on a later run.
+        """
+        if surviving_refs is None:
+            self.conflicts_detected.clear()
+            return
+        self.conflicts_detected = [
+            conflict
+            for conflict in self.conflicts_detected
+            if conflict.ref in surviving_refs
+        ]
 
     # ------------------------------------------------------------------
     # internals
@@ -383,14 +397,29 @@ class ReplicationManager:
         merged_partition: frozenset[NodeId],
         handler: ReplicaConsistencyHandler | None,
     ) -> ReplicaConflict | None:
-        partitions_involved: list[frozenset[NodeId]] = []
-        for record in records:
-            if not any(record.partition_key & seen for seen in partitions_involved):
-                partitions_involved.append(record.partition_key)
+        # Group the records into visibility chains.  Replaying them in
+        # (epoch, time) order, a record continues an existing chain when
+        # its writer node belonged to the partition that produced the
+        # chain's latest record — update propagation at write time means
+        # the writer saw that state.  A record whose writer saw none of
+        # the chains starts a new one; two or more chains are a
+        # write-write conflict.  Grouping by node-set *intersection*
+        # instead masks conflicts across epochs: a node in {1,2} during
+        # one epoch and {2,3} during the next would bridge two genuinely
+        # independent lines of updates.
+        chains: list[frozenset[NodeId]] = []  # current partition key per chain
+        ordered = sorted(records, key=lambda r: (r.epoch, r.timestamp, r.record_id))
+        for record in ordered:
+            for index, current_key in enumerate(chains):
+                if record.node in current_key:
+                    chains[index] = record.partition_key
+                    break
+            else:
+                chains.append(record.partition_key)
         latest = max(records, key=lambda r: (r.timestamp, r.version, r.record_id))
         conflict: ReplicaConflict | None = None
         chosen = latest
-        if len(partitions_involved) > 1:
+        if len(chains) > 1:
             conflict = ReplicaConflict(ref=ref, candidates=list(records))
             if handler is not None:
                 selected = handler(conflict)
@@ -398,6 +427,26 @@ class ReplicationManager:
                     chosen = selected
             conflict.chosen = chosen
         self._apply_everywhere(ref, chosen, merged_partition)
+        if self._is_degraded(merged_partition):
+            # A partial heal: the merge result is itself a degraded-mode
+            # update of the (still minority) merged partition.  Keep a
+            # record so a later, fuller merge propagates it — or detects
+            # a genuine conflict with the other side's updates.  The
+            # original write time is kept: merge time says nothing about
+            # which concurrent update is newer.
+            node = chosen.node if chosen.node in merged_partition else min(merged_partition)
+            self._update_records.append(
+                UpdateRecord(
+                    ref=ref,
+                    kind=chosen.kind,
+                    partition_key=merged_partition,
+                    node=node,
+                    version=chosen.version,
+                    state=chosen.state,
+                    timestamp=chosen.timestamp,
+                    epoch=self.epoch,
+                )
+            )
         return conflict
 
     def _apply_everywhere(

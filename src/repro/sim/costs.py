@@ -55,6 +55,9 @@ class CostModel:
       threat under the full-history policy (two further objects, §5.2).
     * ``threat_dedup_check`` — read-only check that an identical threat is
       already stored (§5.5.1).
+    * ``threat_sync_record`` — marshalling/unmarshalling one threat record
+      inside a batched anti-entropy ``threat-sync`` message (cheap: the
+      receiving store still pays the full persist cost on apply).
     """
 
     invocation_base: float = 4.0e-3
@@ -78,6 +81,7 @@ class CostModel:
     threat_persist: float = 45.0e-3
     threat_persist_identical: float = 30.0e-3
     threat_dedup_check: float = 1.2e-3
+    threat_sync_record: float = 0.5e-3
     network_latency: float = 0.3e-3
 
     def scaled(self, factor: float) -> "CostModel":

@@ -93,6 +93,18 @@ class TestIdenticalOncePolicy:
         store.record(make_threat(ref=OTHER))
         assert store.count_identities() == 2
 
+    def test_absorbed_occurrence_refreshes_persisted_row(self, engine):
+        # Absorbing an identical threat mutates the in-memory head record;
+        # the persisted row must be rewritten or a recovering node would
+        # read back occurrences == 1.
+        store = ThreatStore(engine, ThreatStoragePolicy.IDENTICAL_ONCE)
+        head, _ = store.record(make_threat())
+        store.record(make_threat(degree=SatisfactionDegree.POSSIBLY_VIOLATED))
+        row = store.persisted_row(head.threat_id)
+        assert row is not None
+        assert row["occurrences"] == 2
+        assert row["degree"] == "POSSIBLY_VIOLATED"
+
 
 class TestFullHistoryPolicy:
     def test_every_occurrence_persisted(self, engine):
@@ -139,6 +151,19 @@ class TestResolution:
         store.mark_deferred(("TicketConstraint", REF))
         assert store.pending()[0].deferred
 
+    def test_mark_deferred_persists_every_row(self, engine):
+        # FULL_HISTORY keeps one record per occurrence; deferring the
+        # identity must flip the flag on every persisted row, not just the
+        # head, so a restart cannot resurrect half-deferred history.
+        store = ThreatStore(engine, ThreatStoragePolicy.FULL_HISTORY)
+        first, _ = store.record(make_threat())
+        second, _ = store.record(make_threat())
+        store.mark_deferred(("TicketConstraint", REF))
+        for threat_id in (first.threat_id, second.threat_id):
+            row = store.persisted_row(threat_id)
+            assert row is not None
+            assert row["deferred"] is True
+
     def test_mark_deferred_missing_raises(self, engine):
         store = ThreatStore(engine)
         with pytest.raises(KeyError):
@@ -166,3 +191,31 @@ class TestResolution:
         store.record(make_threat())
         table = engine.table("consistency_threats")
         assert len(table) == 1
+
+
+class TestDigest:
+    def test_digest_summarises_per_identity(self, engine):
+        store = ThreatStore(engine, ThreatStoragePolicy.FULL_HISTORY)
+        store.record(make_threat())
+        store.record(make_threat())
+        store.record(make_threat(ref=OTHER))
+        digest = store.digest()
+        assert set(digest) == {("TicketConstraint", REF), ("TicketConstraint", OTHER)}
+        entry = digest[("TicketConstraint", REF)]
+        assert entry.records == 2
+        assert entry.occurrences == 2
+        assert len(entry.record_ids) == 2
+        assert entry.max_record_id == max(entry.record_ids)
+
+    def test_digest_order_deterministic(self, engine):
+        first = ThreatStore(engine, ThreatStoragePolicy.FULL_HISTORY)
+        second = ThreatStore(engine, ThreatStoragePolicy.FULL_HISTORY)
+        for ref in (OTHER, REF):
+            first.record(make_threat(ref=ref))
+        for ref in (REF, OTHER):
+            second.record(make_threat(ref=ref))
+        assert list(first.digest()) == list(second.digest())
+
+    def test_empty_store_digest_empty(self, engine):
+        store = ThreatStore(engine)
+        assert store.digest() == {}
