@@ -35,6 +35,13 @@ from .core import (
     SatisfactionDegree,
     ThreatStoragePolicy,
 )
+from .check import (
+    CheckConfig,
+    ModelChecker,
+    Scenario,
+    run_schedule,
+    shrink_counterexample,
+)
 from .faults import (
     ChaosConfig,
     ChaosRunner,
@@ -57,6 +64,7 @@ __all__ = [
     "CachingConstraintRepository",
     "ChaosConfig",
     "ChaosRunner",
+    "CheckConfig",
     "ClusterConfig",
     "ConsistencyThreatRejected",
     "Constraint",
@@ -73,6 +81,7 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "GilbertElliottLoss",
+    "ModelChecker",
     "NegotiationDecision",
     "ObjectRef",
     "Observability",
@@ -80,6 +89,9 @@ __all__ = [
     "ResilienceConfig",
     "RetryPolicy",
     "SatisfactionDegree",
+    "Scenario",
     "ThreatStoragePolicy",
     "__version__",
+    "run_schedule",
+    "shrink_counterexample",
 ]

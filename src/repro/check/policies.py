@@ -1,0 +1,141 @@
+"""Event-ordering policies for schedule exploration.
+
+The scheduler consults an :class:`~repro.sim.scheduler.OrderingPolicy`
+whenever more than one event is enabled.  The policies here both *choose*
+and *record*: every non-trivial choice point (two or more candidates) is
+logged as a :class:`ChoicePoint`, and the sequence of choice points is
+hashed into a **schedule fingerprint** — the canonical identity of one
+interleaving.  Two runs that made the same choices among the same
+candidates have equal fingerprints; the fuzz suite asserts that equal
+seeds imply equal fingerprints byte for byte.
+
+* :class:`FifoPolicy` — always index 0; provably identical to the default
+  scheduler ordering (the regression tests byte-compare the traces).
+* :class:`LifoPolicy` — always the newest enabled event; a cheap way to
+  flush ordering assumptions.
+* :class:`RandomPolicy` — seeded uniform choice; the fuzz dimension.
+* :class:`ReplayPolicy` — plays back a prescribed decision sequence and
+  falls back to FIFO beyond it; the DFS explorer and the counterexample
+  shrinker are built on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.scheduler import Event, OrderingPolicy
+
+
+@dataclass(frozen=True)
+class ChoicePoint:
+    """One non-trivial scheduling decision: which enabled event fired."""
+
+    index: int  # ordinal of this choice point within the run
+    chosen: int  # index into ``candidates``
+    candidates: tuple[str, ...]  # FIFO-ordered labels of the enabled events
+
+    @property
+    def arity(self) -> int:
+        return len(self.candidates)
+
+
+def event_label(event: Event) -> str:
+    """A stable, run-independent description of a schedulable event."""
+    name = event.label or getattr(event.callback, "__name__", "?")
+    return f"{event.timestamp:.6f}/{name}"
+
+
+def schedule_fingerprint(decisions: Sequence[ChoicePoint]) -> str:
+    """Deterministic hash identifying one explored interleaving."""
+    digest = hashlib.sha256()
+    for decision in decisions:
+        digest.update(f"{decision.chosen}|{'|'.join(decision.candidates)}\n".encode())
+    return digest.hexdigest()
+
+
+class RecordingPolicy(OrderingPolicy):
+    """Base policy: records every non-trivial choice point it resolves."""
+
+    def __init__(self, window: float = 0.0) -> None:
+        self.window = window
+        self.decisions: list[ChoicePoint] = []
+
+    def begin_run(self) -> None:
+        self.decisions = []
+
+    def fingerprint(self) -> str:
+        return schedule_fingerprint(self.decisions)
+
+    def choose(self, candidates: list[Event]) -> int:
+        index = self._pick(candidates)
+        self.decisions.append(
+            ChoicePoint(
+                index=len(self.decisions),
+                chosen=index,
+                candidates=tuple(event_label(event) for event in candidates),
+            )
+        )
+        return index
+
+    def _pick(self, candidates: list[Event]) -> int:
+        raise NotImplementedError
+
+
+class FifoPolicy(RecordingPolicy):
+    """The default ordering, but with choice points recorded."""
+
+    name = "fifo"
+
+    def _pick(self, candidates: list[Event]) -> int:
+        return 0
+
+
+class LifoPolicy(RecordingPolicy):
+    """Always fires the most recently scheduled enabled event."""
+
+    name = "lifo"
+
+    def _pick(self, candidates: list[Event]) -> int:
+        return len(candidates) - 1
+
+
+class RandomPolicy(RecordingPolicy):
+    """Seeded uniform choice among the enabled events."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, window: float = 0.0) -> None:
+        super().__init__(window)
+        self.seed = seed
+        self._rng = random.Random(f"check:{seed}")
+
+    def begin_run(self) -> None:
+        super().begin_run()
+        self._rng = random.Random(f"check:{self.seed}")
+
+    def _pick(self, candidates: list[Event]) -> int:
+        return self._rng.randrange(len(candidates))
+
+
+class ReplayPolicy(RecordingPolicy):
+    """Plays a prescribed decision prefix, then behaves like FIFO.
+
+    Prescriptions beyond a choice point's arity are clamped to the last
+    candidate, so shrunk or slightly stale decision sequences still replay
+    deterministically instead of crashing mid-scenario.
+    """
+
+    name = "replay"
+
+    def __init__(self, prescription: Sequence[int] = (), window: float = 0.0) -> None:
+        super().__init__(window)
+        self.prescription = tuple(prescription)
+
+    def _pick(self, candidates: list[Event]) -> int:
+        position = len(self.decisions)
+        if position < len(self.prescription):
+            return min(self.prescription[position], len(candidates) - 1)
+        return 0

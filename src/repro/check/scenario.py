@@ -1,0 +1,254 @@
+"""Scenarios: a workload composed with a fault script, as plain data.
+
+A :class:`Scenario` is everything one model-checking run needs to rebuild
+the world from scratch — node ids, flight-booking entities, a timestamped
+operation list, and a :class:`~repro.faults.schedule.FaultSchedule` —
+kept as serializable data so a violating schedule can be emitted as a
+self-contained JSON repro and greedily shrunk (drop an op, drop a fault,
+re-run).
+
+Operations are *scheduled as simulator events*, not called inline: that
+is what creates choice points.  Ops that share a timestamp with each
+other or with a scripted fault are concurrently enabled, and the ordering
+policy decides who goes first — exactly the interleaving dimension the
+single FIFO schedule never exercised.
+
+Three canonical scenarios mirror the dissertation's flight-booking story
+(§1.3): a healthy baseline, a single partition with degraded-mode ticket
+sales on both sides followed by heal + reconciliation, and a three-way
+split with a partial heal (PR 3's epoch-aware path) before full repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Sequence
+
+from ..apps.flightbooking import Flight, ticket_constraint_registration
+from ..cluster import ClusterConfig, DedisysCluster
+from ..faults.schedule import FaultSchedule
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scheduled workload operation.
+
+    ``kind`` is ``"invoke"`` (a business method on flight ``ref_index``)
+    or ``"reconcile"`` (run the cluster's reconciliation phase).
+    """
+
+    at: float
+    kind: str
+    node: str = ""
+    ref_index: int = 0
+    method: str = ""
+    args: tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("invoke", "reconcile"):
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.kind == "invoke" and not (self.node and self.method):
+            raise ValueError("invoke ops need a node and a method")
+
+    def label(self) -> str:
+        if self.kind == "reconcile":
+            return "op:reconcile"
+        return f"op:{self.method}:F{self.ref_index}@{self.node}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "node": self.node,
+            "ref_index": self.ref_index,
+            "method": self.method,
+            "args": list(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Op":
+        return cls(
+            at=data["at"],
+            kind=data["kind"],
+            node=data.get("node", ""),
+            ref_index=data.get("ref_index", 0),
+            method=data.get("method", ""),
+            args=tuple(data.get("args", ())),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible world: cluster shape + workload + fault script."""
+
+    name: str
+    node_ids: tuple[str, ...] = ("n1", "n2", "n3")
+    flights: int = 2
+    seats: int = 100
+    protocol: str = "p4"
+    ops: tuple[Op, ...] = ()
+    # Fault script as plain ``(at, action, args)`` tuples (JSON-able).
+    fault_events: tuple[tuple[float, str, tuple[Any, ...]], ...] = ()
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def build(self, obs: Any = None) -> tuple[DedisysCluster, tuple[Any, ...]]:
+        """A fresh cluster with the flights deployed (faults NOT installed)."""
+        cluster = DedisysCluster(
+            ClusterConfig(node_ids=self.node_ids, protocol=self.protocol, obs=obs)
+        )
+        cluster.deploy(Flight)
+        cluster.register_constraint(ticket_constraint_registration())
+        refs = tuple(
+            cluster.create_entity(
+                self.node_ids[index % len(self.node_ids)],
+                "Flight",
+                f"F{index}",
+                {"flight_number": f"F{index}", "seats": self.seats, "sold": 0},
+            )
+            for index in range(self.flights)
+        )
+        return cluster, refs
+
+    def fault_schedule(self) -> FaultSchedule:
+        return FaultSchedule.from_events(self.fault_events)
+
+    def shifted_fault_schedule(self, start: float) -> FaultSchedule:
+        """The fault script with times anchored at ``start`` (scenario
+        times are relative to the end of cluster construction)."""
+        return FaultSchedule.from_events(
+            (start + at, action, args) for at, action, args in self.fault_events
+        )
+
+    # ------------------------------------------------------------------
+    # shrinking support
+    # ------------------------------------------------------------------
+    def without_fault(self, index: int) -> "Scenario":
+        events = tuple(
+            event for position, event in enumerate(self.fault_events) if position != index
+        )
+        return replace(self, fault_events=events)
+
+    def without_op(self, index: int) -> "Scenario":
+        ops = tuple(op for position, op in enumerate(self.ops) if position != index)
+        return replace(self, ops=ops)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "node_ids": list(self.node_ids),
+            "flights": self.flights,
+            "seats": self.seats,
+            "protocol": self.protocol,
+            "ops": [op.to_dict() for op in self.ops],
+            "fault_events": [
+                [at, action, list(args)] for at, action, args in self.fault_events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        return cls(
+            name=data["name"],
+            node_ids=tuple(data["node_ids"]),
+            flights=data["flights"],
+            seats=data["seats"],
+            protocol=data.get("protocol", "p4"),
+            ops=tuple(Op.from_dict(op) for op in data["ops"]),
+            fault_events=tuple(
+                (at, action, _freeze_args(action, args))
+                for at, action, args in data["fault_events"]
+            ),
+        )
+
+
+def _freeze_args(action: str, args: Sequence[Any]) -> tuple[Any, ...]:
+    if action == "partition":
+        return tuple(tuple(group) for group in args)
+    return tuple(args)
+
+
+def _sell(at: float, node: str, flight: int, count: int) -> Op:
+    return Op(at=at, kind="invoke", node=node, ref_index=flight,
+              method="sell_tickets", args=(count,))
+
+
+def _read(at: float, node: str, flight: int) -> Op:
+    return Op(at=at, kind="invoke", node=node, ref_index=flight, method="get_sold")
+
+
+# ----------------------------------------------------------------------
+# canonical scenarios
+# ----------------------------------------------------------------------
+def healthy_scenario() -> Scenario:
+    """No faults; colliding timestamps still give reorderable schedules."""
+    return Scenario(
+        name="healthy",
+        ops=(
+            _sell(0.2, "n1", 0, 2),
+            _sell(0.2, "n2", 1, 3),
+            _read(0.2, "n3", 0),
+            _sell(0.4, "n3", 0, 1),
+            _sell(0.4, "n1", 1, 2),
+            _read(0.6, "n2", 1),
+            Op(at=0.8, kind="reconcile"),
+        ),
+    )
+
+
+def single_partition_scenario() -> Scenario:
+    """One partition + heal: sales continue on both sides (P4), then the
+    system reconciles.  Ops collide with the partition and heal events."""
+    return Scenario(
+        name="single_partition",
+        ops=(
+            _sell(0.2, "n1", 0, 2),
+            _sell(0.3, "n2", 0, 3),  # collides with the partition fault
+            _sell(0.3, "n1", 1, 1),
+            _sell(0.45, "n3", 0, 2),
+            _sell(0.45, "n1", 0, 1),
+            _sell(0.6, "n2", 1, 2),  # collides with the heal fault
+            _read(0.6, "n3", 0),
+            Op(at=0.7, kind="reconcile"),
+        ),
+        fault_events=(
+            (0.3, "partition", (("n1",), ("n2", "n3"))),
+            (0.6, "heal_all", ()),
+        ),
+    )
+
+
+def partial_heal_scenario() -> Scenario:
+    """Three-way split, a partial merge reconciled mid-degraded (epoch
+    path of PR 3), then full heal and a final reconciliation."""
+    return Scenario(
+        name="partial_heal",
+        node_ids=("n1", "n2", "n3", "n4"),
+        ops=(
+            _sell(0.2, "n1", 0, 2),
+            _sell(0.3, "n2", 0, 3),  # collides with the three-way split
+            _sell(0.4, "n3", 0, 1),
+            _sell(0.4, "n1", 1, 2),
+            _sell(0.5, "n2", 1, 1),  # collides with the partial heal
+            Op(at=0.55, kind="reconcile"),
+            _sell(0.6, "n1", 0, 1),
+            _sell(0.7, "n4", 1, 2),  # collides with the full heal
+            Op(at=0.8, kind="reconcile"),
+        ),
+        fault_events=(
+            (0.3, "partition", (("n1",), ("n2",), ("n3", "n4"))),
+            (0.5, "heal_link", ("n1", "n2")),
+            (0.7, "heal_all", ()),
+        ),
+    )
+
+
+CANONICAL_SCENARIOS = {
+    "healthy": healthy_scenario,
+    "single_partition": single_partition_scenario,
+    "partial_heal": partial_heal_scenario,
+}

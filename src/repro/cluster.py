@@ -200,6 +200,9 @@ class DedisysCluster:
             self.ccmgrs if self.ccmgrs else self._fallback_ccmgrs(),
             replication=self.replication,
         )
+        # The most recent reconciliation outcome; invariant probes consult
+        # it to decide what "converged" and "accounted for" must mean now.
+        self.last_reconciliation: ReconciliationReport | None = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -470,9 +473,10 @@ class DedisysCluster:
             # operation).
             self.mode_tracker.begin_reconciliation(fallback)
             self.mode_tracker.finish_reconciliation(fallback, clean=True)
-            return ReconciliationReport(
+            self.last_reconciliation = ReconciliationReport(
                 merged_partition=fallback, epoch=self.reconciliation.epoch
             )
+            return self.last_reconciliation
         reports = []
         for group in due:
             self.mode_tracker.begin_reconciliation(group)
@@ -482,10 +486,70 @@ class DedisysCluster:
             clean = report.postponed == 0 and report.deferred == 0
             self.mode_tracker.finish_reconciliation(group, clean)
             reports.append(report)
-        return ReconciliationReport.aggregate(reports)
+        self.last_reconciliation = ReconciliationReport.aggregate(reports)
+        return self.last_reconciliation
 
     def is_degraded(self) -> bool:
         return not self.network.is_healthy()
+
+    # ------------------------------------------------------------------
+    # invariant probes (side-effect free; used by repro.check)
+    # ------------------------------------------------------------------
+    def write_targets(self, ref: ObjectRef) -> dict[frozenset, tuple[NodeId, ...]]:
+        """Per partition: the distinct nodes a write may be routed to.
+
+        Asks the replication routing once per potential caller with the
+        protocol's promotion hook suppressed, so probing emits no events
+        and charges no costs.  A correct protocol yields at most one
+        target per partition; write-denied partitions map to ``()``.
+        """
+        from .replication import WriteAccessDenied
+
+        if self.replication is None or not self.replication.is_replicated(ref):
+            return {}
+        targets: dict[frozenset, tuple[NodeId, ...]] = {}
+        protocol = self.replication.protocol
+        hook, protocol.promotion_hook = protocol.promotion_hook, None
+        try:
+            for partition in self.network.partitions():
+                found: list[NodeId] = []
+                for caller in sorted(partition):
+                    try:
+                        target = self.replication.route_write(ref, caller)
+                    except WriteAccessDenied:
+                        continue
+                    if target not in found:
+                        found.append(target)
+                targets[partition] = tuple(found)
+        finally:
+            protocol.promotion_hook = hook
+        return targets
+
+    def replica_states(self, ref: ObjectRef) -> dict[NodeId, tuple | None]:
+        """Each node's local view of ``ref`` as a sorted state tuple.
+
+        ``None`` marks nodes without a local replica.  Purely reads the
+        containers; no interceptors run and no costs are charged.
+        """
+        states: dict[NodeId, tuple | None] = {}
+        for node_id, node in self.nodes.items():
+            if node.container.has(ref):
+                entity = node.container.resolve(ref)
+                states[node_id] = tuple(sorted(entity.state().items()))
+            else:
+                states[node_id] = None
+        return states
+
+    def threat_accounting(self) -> dict[NodeId, tuple[int, int]]:
+        """Per node: ``(in-memory threat records, persisted rows)``.
+
+        The two must agree at every step; drift means the store and its
+        backing table no longer describe the same set of accepted threats.
+        """
+        return {
+            node_id: (store.stored_records(), store.persisted_records())
+            for node_id, store in self.threat_stores.items()
+        }
 
     def mode_of(self, node_id: NodeId) -> SystemMode:
         """The node's perceived Fig. 1.4 system state."""

@@ -188,6 +188,14 @@ class ThreatStore:
         """Number of threat rows actually persisted (policy-dependent)."""
         return sum(len(threats) for threats in self._threats.values())
 
+    def persisted_records(self) -> int:
+        """Rows present in the backing table (accounting cross-check).
+
+        Must equal :meth:`stored_records` at all times — the in-memory
+        index and the persisted rows may never drift apart.
+        """
+        return len(self._table)
+
     def __contains__(self, identity: ThreatIdentity) -> bool:
         return identity in self._threats
 

@@ -61,6 +61,10 @@ class SimNetwork:
         self._handlers: dict[NodeId, Callable[[Message], Any]] = {}
         self._delivered: list[Message] = []
         self._topology_listeners: list[Callable[[], None]] = []
+        # Bumped on every effective failure/heal event.  Invariant probes
+        # compare it across a step to know whether reachability *now* still
+        # describes reachability at delivery time.
+        self.topology_version = 0
         self.injector: "FaultInjector | None" = None
         self.obs = ensure_obs(obs)
         self._m_sent = self.obs.registry.counter(
@@ -294,6 +298,15 @@ class SimNetwork:
         """All messages delivered so far (test introspection)."""
         return list(self._delivered)
 
+    @property
+    def delivered_count(self) -> int:
+        """Number of messages delivered so far (cheap watermark)."""
+        return len(self._delivered)
+
+    def delivered_since(self, watermark: int) -> list[Message]:
+        """Messages delivered after a :attr:`delivered_count` watermark."""
+        return self._delivered[watermark:]
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -326,6 +339,7 @@ class SimNetwork:
             )
 
     def _notify_topology(self) -> None:
+        self.topology_version += 1
         if self.obs.enabled:
             self.obs.emit(
                 "topology_change",

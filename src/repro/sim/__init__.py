@@ -6,12 +6,13 @@ model that replace the paper's physical testbed.
 
 from .clock import SimClock, Stopwatch
 from .costs import CostLedger, CostModel
-from .scheduler import Event, Scheduler
+from .scheduler import Event, OrderingPolicy, Scheduler
 
 __all__ = [
     "CostLedger",
     "CostModel",
     "Event",
+    "OrderingPolicy",
     "Scheduler",
     "SimClock",
     "Stopwatch",

@@ -5,6 +5,13 @@ scheduler pops events in timestamp order (FIFO among equal timestamps) and
 advances the :class:`~repro.sim.clock.SimClock` accordingly.  This gives the
 substrate a deterministic notion of "later" that the group-membership
 service, update propagation, and reconciliation build on.
+
+For schedule exploration (``repro.check``) the scheduler exposes its
+*choice points*: an :class:`OrderingPolicy` installed via
+:meth:`Scheduler.set_ordering_policy` is consulted whenever more than one
+event is *enabled* — within the policy's timestamp window of the earliest
+pending event — and picks which one fires next.  Without a policy the
+behaviour is the historical FIFO pop, byte for byte.
 """
 
 from __future__ import annotations
@@ -53,6 +60,26 @@ class Event:
         return f"Event({name!r} at {self.timestamp:.6f})"
 
 
+class OrderingPolicy:
+    """Chooses which enabled event fires next (schedule exploration).
+
+    ``window`` widens the enabled set: every pending event whose timestamp
+    lies within ``window`` simulated seconds of the earliest pending (or
+    overdue) event is a candidate.  ``choose`` receives the candidates in
+    FIFO order — ``(timestamp, sequence)`` — so index 0 is always the
+    event the default scheduler would have fired.
+    """
+
+    name = "abstract"
+    window: float = 0.0
+
+    def begin_run(self) -> None:
+        """Reset per-run state (called before a scenario starts)."""
+
+    def choose(self, candidates: "list[Event]") -> int:
+        raise NotImplementedError
+
+
 class Scheduler:
     """Priority-queue event scheduler over a :class:`SimClock`."""
 
@@ -60,6 +87,14 @@ class Scheduler:
         self.clock = clock if clock is not None else SimClock()
         self._queue: list[_QueuedEvent] = []
         self._counter = itertools.count()
+        self.policy: OrderingPolicy | None = None
+
+    def set_ordering_policy(self, policy: OrderingPolicy | None) -> None:
+        """Install (or remove) the event-ordering policy.
+
+        ``None`` restores the default FIFO semantics exactly.
+        """
+        self.policy = policy
 
     def __len__(self) -> int:
         return sum(1 for item in self._queue if not item.event.cancelled)
@@ -101,6 +136,8 @@ class Scheduler:
 
         Returns the fired event, or ``None`` when the queue is empty.
         """
+        if self.policy is not None:
+            return self._step_with_policy(self.policy)
         while self._queue:
             item = heapq.heappop(self._queue)
             if item.event.cancelled:
@@ -110,6 +147,42 @@ class Scheduler:
             item.event.fire()
             return item.event
         return None
+
+    def enabled_items(self, window: float = 0.0) -> list[_QueuedEvent]:
+        """The queued events a policy may fire next, in FIFO order.
+
+        Enabled means: not cancelled and timestamped no later than
+        ``window`` past the earliest pending event (overdue events —
+        timestamps already at or before the clock — are always enabled).
+        """
+        pending = sorted(
+            (item for item in self._queue if not item.event.cancelled),
+            key=lambda item: (item.timestamp, item.sequence),
+        )
+        if not pending:
+            return []
+        horizon = max(self.clock.now, pending[0].timestamp) + window
+        return [item for item in pending if item.timestamp <= horizon]
+
+    def _step_with_policy(self, policy: OrderingPolicy) -> Event | None:
+        candidates = self.enabled_items(policy.window)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            index = 0
+        else:
+            index = policy.choose([item.event for item in candidates])
+            if not 0 <= index < len(candidates):
+                raise IndexError(
+                    f"policy {policy.name!r} chose {index} of {len(candidates)}"
+                )
+        item = candidates[index]
+        self._queue.remove(item)
+        heapq.heapify(self._queue)
+        if item.timestamp > self.clock.now:
+            self.clock.advance_to(item.timestamp)
+        item.event.fire()
+        return item.event
 
     def run_until(self, timestamp: float) -> int:
         """Fire all events up to and including ``timestamp``.

@@ -1,0 +1,141 @@
+"""Explorer behaviour: replay fidelity, DFS coverage, serialization."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    Counterexample,
+    LifoPolicy,
+    ModelChecker,
+    RandomPolicy,
+    ReplayPolicy,
+    Violation,
+    healthy_scenario,
+    run_schedule,
+    single_partition_scenario,
+)
+
+
+class TestReplayFidelity:
+    def test_replay_reproduces_a_lifo_schedule(self):
+        lifo = run_schedule(single_partition_scenario(), policy=LifoPolicy())
+        replayed = run_schedule(
+            single_partition_scenario(),
+            policy=ReplayPolicy(lifo.prescription),
+        )
+        assert replayed.fingerprint == lifo.fingerprint
+        assert replayed.prescription == lifo.prescription
+
+    def test_replay_reproduces_a_random_schedule(self):
+        fuzzed = run_schedule(single_partition_scenario(), policy=RandomPolicy(seed=7))
+        replayed = run_schedule(
+            single_partition_scenario(),
+            policy=ReplayPolicy(fuzzed.prescription),
+        )
+        assert replayed.fingerprint == fuzzed.fingerprint
+
+    def test_empty_prescription_is_the_fifo_schedule(self):
+        fifo = run_schedule(single_partition_scenario())
+        replayed = run_schedule(
+            single_partition_scenario(), policy=ReplayPolicy(())
+        )
+        assert replayed.fingerprint == fifo.fingerprint
+
+    def test_oversized_prescription_entries_are_clamped(self):
+        result = run_schedule(
+            single_partition_scenario(), policy=ReplayPolicy((99, 99, 99))
+        )
+        assert result.ok
+        for position, decision in enumerate(result.decisions[:3]):
+            assert decision.chosen == decision.arity - 1, position
+
+
+class TestExploration:
+    def test_healthy_scenario_is_clean_and_space_is_exhausted(self):
+        report = ModelChecker(
+            healthy_scenario(), CheckConfig(max_schedules=500)
+        ).explore()
+        assert not report.found_violation
+        assert report.complete
+        assert report.schedules_explored > 1
+        # Every prescription denotes a distinct interleaving.
+        assert report.unique_fingerprints == report.schedules_explored
+
+    def test_single_partition_scenario_is_clean(self):
+        report = ModelChecker(
+            single_partition_scenario(), CheckConfig(max_schedules=2000)
+        ).explore()
+        assert not report.found_violation
+        assert report.complete
+        assert report.unique_fingerprints == report.schedules_explored
+        assert report.max_decision_depth >= 3
+
+    def test_budget_caps_exploration(self):
+        report = ModelChecker(
+            single_partition_scenario(), CheckConfig(max_schedules=3)
+        ).explore()
+        assert report.schedules_explored == 3
+        assert not report.complete
+        assert not report.found_violation
+
+    def test_depth_bound_limits_branching(self):
+        narrow = ModelChecker(
+            single_partition_scenario(),
+            CheckConfig(max_schedules=2000, max_decisions=1),
+        ).explore()
+        wide = ModelChecker(
+            single_partition_scenario(),
+            CheckConfig(max_schedules=2000, max_decisions=4),
+        ).explore()
+        assert narrow.complete and wide.complete
+        assert narrow.schedules_explored < wide.schedules_explored
+
+    def test_config_rejects_degenerate_bounds(self):
+        with pytest.raises(ValueError):
+            CheckConfig(max_schedules=0)
+        with pytest.raises(ValueError):
+            CheckConfig(max_branch=0)
+        with pytest.raises(ValueError):
+            CheckConfig(window=-0.1)
+
+
+class TestCounterexampleSerialization:
+    def make(self):
+        return Counterexample(
+            scenario=single_partition_scenario(),
+            prescription=(1, 0, 2),
+            fingerprint="cafe" * 16,
+            violations=(
+                Violation(
+                    invariant="at_most_one_primary_per_partition",
+                    detail="two primaries",
+                    step=4,
+                    sim_time=1.25,
+                ),
+            ),
+        )
+
+    def test_roundtrip_through_dict(self):
+        original = self.make()
+        restored = Counterexample.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_write_emits_valid_json(self, tmp_path):
+        path = self.make().write(tmp_path / "ce" / "repro.json")
+        data = json.loads(path.read_text())
+        assert data["prescription"] == [1, 0, 2]
+        assert data["violations"][0]["invariant"] == (
+            "at_most_one_primary_per_partition"
+        )
+        assert data["scenario"]["name"] == "single_partition"
+
+    def test_decision_count_trims_trailing_fifo_defaults(self):
+        counterexample = Counterexample(
+            scenario=healthy_scenario(),
+            prescription=(0, 2, 0, 0),
+            fingerprint="",
+            violations=(),
+        )
+        assert counterexample.decision_count == 2

@@ -1,0 +1,53 @@
+"""Seeded-random schedule fuzzing: 25 seeds x 3 canonical scenarios.
+
+Every fuzzed schedule must satisfy the full invariant registry, and the
+fuzzer itself must be deterministic: running the same (seed, scenario)
+pair twice yields byte-identical schedule fingerprints *and* byte-
+identical observability traces.
+"""
+
+import pytest
+
+from repro.check import CANONICAL_SCENARIOS, RandomPolicy, run_schedule
+
+SEEDS = range(25)
+SCENARIOS = sorted(CANONICAL_SCENARIOS)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_fuzzed_schedules_hold_all_invariants(name):
+    factory = CANONICAL_SCENARIOS[name]
+    for seed in SEEDS:
+        result = run_schedule(
+            factory(), policy=RandomPolicy(seed=seed), collect_trace=False
+        )
+        assert result.ok, (
+            f"seed {seed} on {name}: "
+            f"{[violation.to_dict() for violation in result.violations]}"
+        )
+        assert result.steps > 0
+        assert result.ops_attempted == len(factory().ops)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_same_seed_is_byte_identical(name):
+    factory = CANONICAL_SCENARIOS[name]
+    for seed in (0, 7, 24):
+        first = run_schedule(factory(), policy=RandomPolicy(seed=seed))
+        second = run_schedule(factory(), policy=RandomPolicy(seed=seed))
+        assert first.fingerprint == second.fingerprint, seed
+        assert first.trace_jsonl.encode() == second.trace_jsonl.encode(), seed
+        assert first.prescription == second.prescription, seed
+
+
+def test_distinct_seeds_explore_distinct_schedules():
+    factory = CANONICAL_SCENARIOS["single_partition"]
+    fingerprints = {
+        run_schedule(
+            factory(), policy=RandomPolicy(seed=seed), collect_trace=False
+        ).fingerprint
+        for seed in SEEDS
+    }
+    # Random reordering must actually move the schedule for most seeds —
+    # the space has hundreds of interleavings, so collisions are rare.
+    assert len(fingerprints) >= 5

@@ -1,0 +1,45 @@
+"""Golden-trace regression: the canonical degraded-mode schedule.
+
+The committed fixture is the full JSON-lines observability trace of the
+single-partition scenario under the default (FIFO) schedule — partition,
+degraded sales on both sides, heal, reconciliation — as produced by
+``run_schedule``.  The comparison is *byte* equality: any drift in event
+ordering, payload content, schedule fingerprinting, or the check
+telemetry itself fails the test and demands a deliberate fixture update.
+
+Regenerate (only after auditing the diff)::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.check import run_schedule, single_partition_scenario
+    result = run_schedule(single_partition_scenario())
+    assert result.ok
+    open("tests/fixtures/check_single_partition_trace.jsonl", "w").write(
+        result.trace_jsonl)
+    EOF
+"""
+
+import json
+from pathlib import Path
+
+from repro.check import run_schedule, single_partition_scenario
+
+FIXTURE = Path(__file__).parent / "fixtures" / "check_single_partition_trace.jsonl"
+
+
+def test_default_schedule_trace_matches_golden_fixture():
+    result = run_schedule(single_partition_scenario())
+    assert result.ok
+    assert result.trace_jsonl.encode("utf-8") == FIXTURE.read_bytes()
+
+
+def test_golden_fixture_is_wellformed_and_carries_the_fingerprint():
+    lines = FIXTURE.read_text(encoding="utf-8").splitlines()
+    events = [json.loads(line) for line in lines]
+    assert len(events) > 20
+    final = events[-1]
+    assert final["type"] == "check_schedule"
+    assert final["data"]["scenario"] == "single_partition"
+    assert final["data"]["violations"] == []
+    # The fingerprint in the fixture pins the schedule identity too.
+    result = run_schedule(single_partition_scenario(), collect_trace=False)
+    assert final["data"]["fingerprint"] == result.fingerprint
