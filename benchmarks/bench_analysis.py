@@ -1,0 +1,83 @@
+"""replint benchmark — analysis throughput over the real package.
+
+Two headline numbers for the static-analysis subsystem:
+
+* **Throughput** — a full replint pass (parse + every rule) over
+  ``src/repro``: wall seconds and files per second.
+* **Cleanliness** — the pass agrees with the committed baseline: zero
+  new findings, zero expired entries, and every suppression justified
+  by an inline pragma.
+
+Results are exported to ``benchmarks/results/BENCH_analysis.json``.  Set
+``BENCH_QUICK=1`` to run a single round instead of five.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import RESULTS_DIR, print_table
+from repro.analysis.baseline import compare, load_baseline
+from repro.analysis.engine import all_rules, run_analysis
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+ROUNDS = 1 if QUICK else 5
+
+REPO_ROOT = Path(__file__).parents[1]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "analysis" / "baseline.json"
+
+
+def run_pass():
+    started = time.perf_counter()
+    result = run_analysis(PACKAGE_ROOT)
+    return result, time.perf_counter() - started
+
+
+def test_analysis_throughput_and_cleanliness(benchmark):
+    runs = benchmark.pedantic(
+        lambda: [run_pass() for _ in range(ROUNDS)], rounds=1, iterations=1
+    )
+    result, _ = runs[0]
+    best = min(elapsed for _, elapsed in runs)
+
+    comparison = compare(result.findings, load_baseline(BASELINE_PATH))
+    assert comparison.ok, [f.location for f in comparison.new] + comparison.expired
+
+    files_per_second = result.files_scanned / best if best else 0.0
+    print_table(
+        f"replint over {PACKAGE_ROOT.name} — best of {ROUNDS}",
+        ["files", "rules", "best seconds", "files/s", "new", "baselined", "suppressed"],
+        [
+            [
+                result.files_scanned,
+                len(result.rules),
+                f"{best:.3f}",
+                f"{files_per_second:.0f}",
+                len(comparison.new),
+                len(comparison.baselined),
+                result.suppressed,
+            ]
+        ],
+    )
+
+    payload = {
+        "quick": QUICK,
+        "rounds": ROUNDS,
+        "root": "src/repro",
+        "files_scanned": result.files_scanned,
+        "rules": [rule.code for rule in all_rules()],
+        "best_seconds": best,
+        "files_per_second": files_per_second,
+        "new_findings": len(comparison.new),
+        "baselined_findings": len(comparison.baselined),
+        "expired_entries": len(comparison.expired),
+        "suppressed": result.suppressed,
+        "claim": "a full replint pass over the package completes in a "
+        "couple of seconds and agrees with the committed baseline",
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_analysis.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\nresults -> {out}")

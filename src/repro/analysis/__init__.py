@@ -1,0 +1,43 @@
+"""replint — repo-specific static analysis for the middleware.
+
+An AST-based lint pass that enforces the conventions the rest of the
+test infrastructure depends on: determinism of sim-reachable code,
+a canonical observability vocabulary, exhaustive message dispatch,
+consistent constraint metadata (paper §4.2.2), and side-effect-free
+invariant probes.  Run it with ``python -m repro.analysis``.
+"""
+
+from .baseline import BaselineComparison, compare, load_baseline, save_baseline
+from .cli import main
+from .engine import (
+    AnalysisResult,
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+    all_rules,
+    load_project,
+    register,
+    run_analysis,
+)
+from .reporting import REPORT_VERSION, render_json, render_text
+
+__all__ = [
+    "AnalysisResult",
+    "BaselineComparison",
+    "Finding",
+    "Project",
+    "REPORT_VERSION",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "compare",
+    "load_baseline",
+    "load_project",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+    "run_analysis",
+    "save_baseline",
+]

@@ -1,0 +1,81 @@
+"""Baseline files: grandfathered findings and their lifecycle.
+
+A baseline is a committed JSON file mapping finding fingerprints to the
+number of occurrences that are tolerated.  The comparison yields:
+
+* **new** — findings whose fingerprint is absent from the baseline (or
+  occurs more often than the baselined count).  These fail the run.
+* **baselined** — findings covered by the baseline; reported but not
+  fatal.
+* **expired** — baseline entries that no longer match any finding.  The
+  code was fixed; the entry must be removed (``--update-baseline``)
+  so fixed findings cannot silently regress.  Expired entries fail the
+  run too: a stale baseline is itself a finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineComparison:
+    """Findings split against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    expired: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.expired
+
+
+def load_baseline(path: Path | None) -> dict[str, int]:
+    """Read a baseline file; a missing path is an empty baseline."""
+    if path is None or not path.exists():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", {})
+    return {str(fingerprint): int(count) for fingerprint, count in entries.items()}
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> dict[str, int]:
+    """Write the current findings as the new baseline."""
+    counts = Counter(finding.fingerprint for finding in findings)
+    entries = {fingerprint: counts[fingerprint] for fingerprint in sorted(counts)}
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered replint findings. Entries expire automatically: "
+            "run `python -m repro.analysis --update-baseline` after fixing."
+        ),
+        "findings": entries,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return entries
+
+
+def compare(findings: list[Finding], baseline: dict[str, int]) -> BaselineComparison:
+    """Split findings into new vs. baselined and spot expired entries."""
+    comparison = BaselineComparison()
+    remaining = dict(baseline)
+    for finding in findings:
+        credit = remaining.get(finding.fingerprint, 0)
+        if credit > 0:
+            remaining[finding.fingerprint] = credit - 1
+            comparison.baselined.append(finding)
+        else:
+            comparison.new.append(finding)
+    comparison.expired = sorted(
+        fingerprint for fingerprint, count in remaining.items() if count > 0
+    )
+    return comparison

@@ -1,0 +1,62 @@
+"""Text and JSON reporters for replint runs.
+
+The JSON schema is stable (``REPORT_VERSION`` bumps on breaking change)
+because CI archives the report as an artifact and tests pin the keys.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .baseline import BaselineComparison
+from .engine import AnalysisResult, Finding
+
+REPORT_VERSION = 1
+
+
+def render_text(result: AnalysisResult, comparison: BaselineComparison) -> str:
+    """Human-readable report: one ``file:line code message`` per finding."""
+    lines: list[str] = []
+    for finding in comparison.new:
+        lines.append(f"{finding.location}: {finding.code} {finding.message}")
+    for finding in comparison.baselined:
+        lines.append(
+            f"{finding.location}: {finding.code} {finding.message} [baselined]"
+        )
+    for fingerprint in comparison.expired:
+        lines.append(
+            f"baseline: expired entry {fingerprint!r} — the finding is gone; "
+            "run --update-baseline to drop it"
+        )
+    lines.append(
+        f"replint: {result.files_scanned} files, {len(result.rules)} rules, "
+        f"{len(comparison.new)} new, {len(comparison.baselined)} baselined, "
+        f"{len(comparison.expired)} expired, {result.suppressed} suppressed"
+    )
+    lines.append("OK" if comparison.ok else "FAIL")
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult, comparison: BaselineComparison) -> str:
+    """Machine-readable report with a pinned schema."""
+
+    def rows(findings: list[Finding]) -> list[dict[str, object]]:
+        return [finding.to_dict() for finding in findings]
+
+    payload = {
+        "version": REPORT_VERSION,
+        "root": result.root,
+        "rules": result.rules,
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "new": len(comparison.new),
+            "baselined": len(comparison.baselined),
+            "expired": len(comparison.expired),
+            "suppressed": result.suppressed,
+            "ok": comparison.ok,
+        },
+        "new": rows(comparison.new),
+        "baselined": rows(comparison.baselined),
+        "expired": comparison.expired,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

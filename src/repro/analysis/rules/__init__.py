@@ -1,0 +1,19 @@
+"""Built-in replint rules.
+
+Importing this package registers every rule family with the engine:
+
+* ``DET0xx`` — determinism of sim-reachable code (wall clock, global
+  RNG, ``id()``, unordered set iteration).
+* ``REG0xx`` — observability registry drift (emitted trace events and
+  metric names vs. the canonical ``repro.obs.registry``).
+* ``MSG0xx`` — message-kind exhaustiveness (every sent kind handled,
+  every handled kind sent).
+* ``META0xx`` — constraint metadata consistency (paper §4.2.2):
+  affected methods exist, tradeable constraints declare a minimum
+  satisfaction degree, ``validate`` only touches declared context state.
+* ``PRB0xx`` — invariant probe purity (side-effect-free cluster reads).
+"""
+
+from . import constraints, determinism, messages, probes, registry_drift
+
+__all__ = ["constraints", "determinism", "messages", "probes", "registry_drift"]

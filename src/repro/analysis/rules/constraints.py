@@ -1,0 +1,363 @@
+"""Constraint-metadata consistency rules (``META``), paper §4.2.2.
+
+The middleware drives validation entirely from declared metadata:
+``AffectedMethod`` entries decide *when* a constraint runs, the declared
+``context_class`` decides *what* it runs against, and tradeable
+constraints negotiate through their ``min_satisfaction_degree``.  The
+declarations live next to — but disconnected from — the entity code, so
+a renamed method or field silently turns a constraint into dead weight.
+These rules re-connect them statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..engine import Finding, Project, Rule, SourceModule, register
+
+#: Methods every Entity provides (fallback when the Entity base class is
+#: outside the scanned tree).
+ENTITY_API = frozenset(
+    {
+        "class_name",
+        "state",
+        "apply_state",
+        "get_version",
+        "estimated_latest_version",
+        "resolve",
+        "resolve_all",
+        "invoke",
+        "_get",
+        "_set",
+    }
+)
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: SourceModule
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    fields: dict[str, int] = field(default_factory=dict)  # field -> line
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    class_attrs: dict[str, ast.expr] = field(default_factory=dict)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _collect_classes(project: Project) -> dict[str, _ClassInfo]:
+    classes: dict[str, _ClassInfo] = {}
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                name for name in (_terminal_name(base) for base in node.bases) if name
+            )
+            info = _ClassInfo(node.name, module, node, bases)
+            for statement in node.body:
+                if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods[statement.name] = statement  # type: ignore[assignment]
+                elif isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                    target = statement.targets[0]
+                    if isinstance(target, ast.Name):
+                        info.class_attrs[target.id] = statement.value
+                        if target.id == "fields" and isinstance(statement.value, ast.Dict):
+                            for key in statement.value.keys:
+                                if isinstance(key, ast.Constant) and isinstance(
+                                    key.value, str
+                                ):
+                                    info.fields[key.value] = key.lineno
+                elif isinstance(statement, ast.AnnAssign) and isinstance(
+                    statement.target, ast.Name
+                ):
+                    if statement.value is not None:
+                        info.class_attrs[statement.target.id] = statement.value
+            # Later definitions of the same class name do not overwrite
+            # earlier ones; entity/constraint names are unique in practice.
+            classes.setdefault(node.name, info)
+    return classes
+
+
+def _closure(classes: dict[str, _ClassInfo], roots: frozenset[str]) -> set[str]:
+    """Names of classes whose base chain reaches one of ``roots``."""
+    member: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for info in classes.values():
+            if info.name in member:
+                continue
+            if any(base in roots or base in member for base in info.bases):
+                member.add(info.name)
+                changed = True
+    return member
+
+
+def _ancestry(classes: dict[str, _ClassInfo], name: str) -> list[_ClassInfo]:
+    """The class plus every project-local ancestor, nearest first."""
+    seen: list[_ClassInfo] = []
+    stack = [name]
+    visited: set[str] = set()
+    while stack:
+        current = stack.pop(0)
+        if current in visited or current not in classes:
+            continue
+        visited.add(current)
+        info = classes[current]
+        seen.append(info)
+        stack.extend(info.bases)
+    return seen
+
+
+class _Model:
+    """Entity and constraint class model extracted from one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.classes = _collect_classes(project)
+        self.entities = _closure(self.classes, frozenset({"Entity"}))
+        self.constraints = _closure(self.classes, frozenset({"Constraint"}))
+
+    def entity_fields(self, name: str) -> set[str]:
+        fields: set[str] = set()
+        for info in _ancestry(self.classes, name):
+            fields.update(info.fields)
+        return fields
+
+    def entity_methods(self, name: str) -> set[str]:
+        methods: set[str] = set(ENTITY_API)
+        for info in _ancestry(self.classes, name):
+            methods.update(info.methods)
+        return methods
+
+    def method_exists(self, class_name: str, method_name: str) -> bool:
+        if method_name in self.entity_methods(class_name):
+            return True
+        if method_name.startswith(("get_", "set_")):
+            return method_name[4:] in self.entity_fields(class_name)
+        return False
+
+    def attr_through_ancestry(self, name: str, attr: str) -> ast.expr | None:
+        for info in _ancestry(self.classes, name):
+            if attr in info.class_attrs:
+                return info.class_attrs[attr]
+        return None
+
+
+def _model(project: Project) -> _Model:
+    # One extraction per run, shared by the three META rules.
+    cached = getattr(project, "_replint_meta_model", None)
+    if cached is None:
+        cached = _Model(project)
+        project._replint_meta_model = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@register
+class AffectedMethodExistsRule(Rule):
+    code = "META001"
+    name = "affected-method-exists"
+    description = (
+        "AffectedMethod declarations must name an existing entity class "
+        "and a method (or synthesized field accessor) on it"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        model = _model(project)
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and _terminal_name(node.func) == "AffectedMethod"
+                ):
+                    continue
+                arguments: dict[str, ast.expr] = {}
+                for index, arg in enumerate(node.args[:2]):
+                    arguments[("class_name", "method_name")[index]] = arg
+                for keyword in node.keywords:
+                    if keyword.arg in ("class_name", "method_name"):
+                        arguments[keyword.arg] = keyword.value
+                class_name = project.resolve_string(module, arguments.get("class_name", ast.Constant(value=None)))
+                method_name = project.resolve_string(module, arguments.get("method_name", ast.Constant(value=None)))
+                if class_name is None or method_name is None:
+                    continue  # dynamically built (e.g. the config parser)
+                if class_name not in model.entities:
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"AffectedMethod targets unknown entity class "
+                            f"{class_name!r}"
+                        ),
+                        path=module.rel_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                elif not model.method_exists(class_name, method_name):
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"AffectedMethod targets {class_name}.{method_name}, "
+                            "which is neither defined nor a get_/set_ accessor "
+                            "of a declared field"
+                        ),
+                        path=module.rel_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+
+
+@register
+class TradeableDegreeRule(Rule):
+    code = "META002"
+    name = "tradeable-needs-min-degree"
+    description = (
+        "a RELAXABLE (tradeable) constraint must declare the minimum "
+        "satisfaction degree it negotiates down to (§3.2.1)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        model = _model(project)
+        for name in sorted(model.constraints):
+            info = model.classes[name]
+            priority = model.attr_through_ancestry(name, "priority")
+            if priority is None or _terminal_name(priority) != "RELAXABLE":
+                continue
+            if model.attr_through_ancestry(name, "min_satisfaction_degree") is None:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"constraint {name} is RELAXABLE but declares no "
+                        "min_satisfaction_degree; negotiation has no floor"
+                    ),
+                    path=info.module.rel_path,
+                    line=info.node.lineno,
+                    col=info.node.col_offset,
+                )
+        # Factory call sites: ocl_invariant(..., priority=RELAXABLE)
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and _terminal_name(node.func) in ("ocl_invariant", "OclConstraint")
+                ):
+                    continue
+                keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+                priority = keywords.get("priority")
+                if priority is None or _terminal_name(priority) != "RELAXABLE":
+                    continue
+                if "min_satisfaction_degree" not in keywords:
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            "RELAXABLE OCL constraint without a "
+                            "min_satisfaction_degree keyword"
+                        ),
+                        path=module.rel_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+
+
+@register
+class ContextAttributeRule(Rule):
+    code = "META003"
+    name = "context-attributes-exist"
+    description = (
+        "validate(ctx) may only read state the declared context class "
+        "actually provides"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        model = _model(project)
+        for name in sorted(model.constraints):
+            info = model.classes[name]
+            validate = info.methods.get("validate")
+            if validate is None:
+                continue
+            context_attr = model.attr_through_ancestry(name, "context_class")
+            context_class = (
+                context_attr.value
+                if isinstance(context_attr, ast.Constant)
+                and isinstance(context_attr.value, str)
+                else None
+            )
+            if context_class is None or context_class not in model.entities:
+                continue
+            yield from self._check_validate(
+                model, info, validate, name, context_class
+            )
+
+    def _check_validate(
+        self,
+        model: _Model,
+        info: _ClassInfo,
+        validate: ast.FunctionDef,
+        constraint: str,
+        context_class: str,
+    ) -> Iterator[Finding]:
+        ctx_name = validate.args.args[1].arg if len(validate.args.args) > 1 else "ctx"
+
+        def is_context_object(node: ast.expr) -> bool:
+            return (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get_context_object"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == ctx_name
+            )
+
+        context_vars: set[str] = set()
+        for node in ast.walk(validate):
+            if isinstance(node, ast.Assign) and is_context_object(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        context_vars.add(target.id)
+
+        for node in ast.walk(validate):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            receiver = node.func.value
+            if not (
+                (isinstance(receiver, ast.Name) and receiver.id in context_vars)
+                or is_context_object(receiver)
+            ):
+                continue
+            method = node.func.attr
+            if method in ("_get", "_set") and node.args:
+                field_arg = node.args[0]
+                if isinstance(field_arg, ast.Constant) and isinstance(
+                    field_arg.value, str
+                ):
+                    if field_arg.value not in model.entity_fields(context_class):
+                        yield Finding(
+                            code=self.code,
+                            message=(
+                                f"{constraint}.validate reads field "
+                                f"{field_arg.value!r} that context class "
+                                f"{context_class} does not declare"
+                            ),
+                            path=info.module.rel_path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+                continue
+            if not model.method_exists(context_class, method):
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"{constraint}.validate calls {context_class}.{method}(), "
+                        "which the declared context class does not provide"
+                    ),
+                    path=info.module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )

@@ -1,0 +1,297 @@
+"""Determinism rules (``DET``).
+
+PR 1's golden trace files and the model checker's schedule fingerprints
+rely on byte-identical replay: the same scenario and seed must produce
+the same event stream.  A single wall-clock read, unseeded global RNG
+call, ``id()``-derived value, or iteration over an unordered ``set``
+silently breaks that.  These rules make the contract machine-checked.
+
+Dict iteration is deliberately *not* flagged: insertion order is part of
+the language (and the repo relies on it); ``set`` ordering is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Project, Rule, SourceModule, register
+
+#: Wall-clock reading attributes per module alias.
+_WALL_CLOCK = {
+    "time": {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "localtime",
+        "gmtime",
+    },
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+#: ``random``-module attributes that are fine to use: the seeded
+#: generator class itself.
+_RANDOM_OK = {"Random"}
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The leftmost ``Name`` of an attribute chain, if any."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The last identifier of a ``Name`` / ``a.b.c`` chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register
+class WallClockRule(Rule):
+    code = "DET001"
+    name = "no-wall-clock"
+    description = (
+        "sim code must read time from the injected SimClock, never from "
+        "time.time()/datetime.now() and friends"
+    )
+
+    def check_module(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            base = _terminal_name(node.func.value)
+            if base in _WALL_CLOCK and node.func.attr in _WALL_CLOCK[base]:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"wall-clock call {base}.{node.func.attr}() breaks replay "
+                        "determinism; use the injected SimClock"
+                    ),
+                    path=module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+
+
+@register
+class GlobalRandomRule(Rule):
+    code = "DET002"
+    name = "no-global-random"
+    description = (
+        "use an injected, seeded random.Random instance; the module-level "
+        "random.* API is shared mutable state seeded from the OS"
+    )
+
+    def check_module(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if (
+                    isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "random"
+                    and node.func.attr not in _RANDOM_OK
+                ):
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"call to global random.{node.func.attr}(); inject a "
+                            "seeded random.Random instead"
+                        ),
+                        path=module.rel_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _RANDOM_OK:
+                        yield Finding(
+                            code=self.code,
+                            message=(
+                                f"importing {alias.name!r} from random pulls in the "
+                                "global generator; import random and inject "
+                                "random.Random"
+                            ),
+                            path=module.rel_path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+
+
+@register
+class ObjectIdRule(Rule):
+    code = "DET003"
+    name = "no-object-id"
+    description = (
+        "id() values differ between runs of the same scenario; use stable "
+        "identities (oid, ref, names) in keys, ordering, and emitted data"
+    )
+
+    def check_module(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1
+            ):
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        "id() is a per-process address, not a stable identity; "
+                        "derive keys from oid/ref/name instead"
+                    ),
+                    path=module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Syntactically recognizable unordered-set expression."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+#: Order-sensitive single-argument consumers: the set's arbitrary order
+#: escapes into the result.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter"}
+
+#: Consumers whose result does not depend on iteration order; a
+#: comprehension over a set directly inside one of these is fine.
+_ORDER_INSENSITIVE_CALLS = {"sorted", "min", "max", "sum", "len", "set", "frozenset"}
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function bodies."""
+    stack: list[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scopes analyzed on their own
+            stack.append(child)
+
+
+def _set_typed_names(scope: ast.AST) -> set[str]:
+    """Local names assigned *only* set expressions within ``scope``.
+
+    Single-scope flow-insensitive inference: one non-set assignment to a
+    name anywhere in the scope removes it, so reuse of a name for other
+    data never false-positives.
+    """
+    set_names: set[str] = set()
+    poisoned: set[str] = set()
+    for node in _scope_walk(scope):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if value is not None and _is_set_expr(value):
+                set_names.add(target.id)
+            else:
+                poisoned.add(target.id)
+    return set_names - poisoned
+
+
+@register
+class SetIterationRule(Rule):
+    code = "DET004"
+    name = "no-unordered-set-iteration"
+    description = (
+        "iterating a set leaks arbitrary ordering into traces, messages, "
+        "and schedule decisions; wrap the set in sorted()"
+    )
+
+    def check_module(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            yield from self._check_scope(module, scope)
+
+    def _check_scope(self, module: SourceModule, scope: ast.AST) -> Iterator[Finding]:
+        set_names = _set_typed_names(scope)
+        # Parents of comprehensions, to excuse sorted(... for x in s) etc.
+        parent_of: dict[ast.AST, ast.AST] = {}
+        for node in _scope_walk(scope):
+            for child in ast.iter_child_nodes(node):
+                parent_of[child] = node
+
+        def is_set_like(node: ast.expr) -> bool:
+            if _is_set_expr(node):
+                return True
+            return isinstance(node, ast.Name) and node.id in set_names
+
+        def excused(node: ast.AST) -> bool:
+            parent = parent_of.get(node)
+            return (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_INSENSITIVE_CALLS
+            )
+
+        for node in _scope_walk(scope):
+            target: ast.expr | None = None
+            how = ""
+            if isinstance(node, ast.For) and is_set_like(node.iter):
+                target, how = node.iter, "for-loop over"
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                if excused(node):
+                    continue
+                for generator in node.generators:
+                    if is_set_like(generator.iter):
+                        target, how = generator.iter, "comprehension over"
+                        break
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_SENSITIVE_CALLS
+                and len(node.args) == 1
+                and is_set_like(node.args[0])
+            ):
+                target, how = node.args[0], f"{node.func.id}() over"
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and len(node.args) == 1
+                and is_set_like(node.args[0])
+            ):
+                target, how = node.args[0], "join() over"
+            if target is not None:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"{how} a set has arbitrary order; wrap it in sorted() "
+                        "before the order can escape"
+                    ),
+                    path=module.rel_path,
+                    line=target.lineno,
+                    col=target.col_offset,
+                )

@@ -1,0 +1,185 @@
+"""Message-kind exhaustiveness rules (``MSG``).
+
+The simulated network routes by ``Message.kind`` strings: senders call
+``channel.multicast(source, kind, ...)`` / ``network.send(src, dst,
+kind, ...)`` and receivers dispatch on ``message.kind``.  Nothing ties
+the two vocabularies together at runtime — an unhandled kind just falls
+through to the handler's ``"ignored"`` branch.  These rules close the
+loop statically: every sent kind must have a dispatch arm, and every
+dispatch arm must correspond to a kind somebody sends.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..engine import Finding, Project, Rule, SourceModule, register
+
+#: Receiver names a ``.kind`` dispatch is trusted on.  ``spec.kind`` /
+#: ``record.kind`` / ``token.kind`` tag other taxonomies and are skipped.
+_MESSAGE_NAMES = {"message", "msg"}
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass(frozen=True)
+class _Site:
+    module: SourceModule
+    line: int
+    col: int
+    value: str
+
+
+def _collect_sent(project: Project) -> list[_Site]:
+    """Kinds passed to ``*.multicast`` (arg 1) and ``*network*.send`` (arg 2)."""
+    sites: list[_Site] = []
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            kind_arg: ast.expr | None = None
+            if node.func.attr == "multicast" and len(node.args) >= 2:
+                kind_arg = node.args[1]
+            elif (
+                node.func.attr == "send"
+                and len(node.args) >= 3
+                and (_terminal_name(node.func.value) or "").endswith("network")
+            ):
+                kind_arg = node.args[2]
+            if kind_arg is None:
+                continue
+            value = project.resolve_string(module, kind_arg)
+            if value is not None:
+                sites.append(_Site(module, kind_arg.lineno, kind_arg.col_offset, value))
+    return sites
+
+
+def _collect_handled(project: Project) -> tuple[list[_Site], list[_Site]]:
+    """Exact kinds and kind *prefixes* that have a dispatch arm."""
+    exact: list[_Site] = []
+    prefixes: list[_Site] = []
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            # <message>.kind == "..." / <message>.kind in ("...", ...)
+            if isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                left = node.left
+                if not (
+                    isinstance(left, ast.Attribute)
+                    and left.attr == "kind"
+                    and (_terminal_name(left.value) or "") in _MESSAGE_NAMES
+                ):
+                    continue
+                comparator = node.comparators[0]
+                candidates: list[ast.expr]
+                if isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+                    candidates = list(comparator.elts)
+                else:
+                    candidates = [comparator]
+                for candidate in candidates:
+                    value = project.resolve_string(module, candidate)
+                    if value is not None:
+                        exact.append(
+                            _Site(module, candidate.lineno, candidate.col_offset, value)
+                        )
+            # <message>.kind.startswith("prefix")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "startswith"
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == "kind"
+                and (_terminal_name(node.func.value.value) or "") in _MESSAGE_NAMES
+                and node.args
+            ):
+                value = project.resolve_string(module, node.args[0])
+                if value is not None:
+                    prefixes.append(
+                        _Site(module, node.lineno, node.col_offset, value)
+                    )
+    return exact, prefixes
+
+
+@register
+class UnhandledKindRule(Rule):
+    code = "MSG001"
+    name = "unhandled-message-kind"
+    description = (
+        "every message kind that is multicast/sent must have a dispatch "
+        "arm matching message.kind"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        sent = _collect_sent(project)
+        exact, prefixes = _collect_handled(project)
+        handled = {site.value for site in exact}
+        handled_prefixes = tuple(site.value for site in prefixes)
+        reported: set[str] = set()
+        for site in sent:
+            if site.value in handled or site.value.startswith(handled_prefixes):
+                continue
+            if site.value in reported:
+                continue
+            reported.add(site.value)
+            yield Finding(
+                code=self.code,
+                message=(
+                    f"message kind {site.value!r} is sent but no handler "
+                    "dispatches on it"
+                ),
+                path=site.module.rel_path,
+                line=site.line,
+                col=site.col,
+            )
+
+
+@register
+class UnsentKindRule(Rule):
+    code = "MSG002"
+    name = "unsent-message-kind"
+    description = (
+        "a dispatch arm for a kind nobody sends is dead protocol surface"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        sent_values = {site.value for site in _collect_sent(project)}
+        exact, prefixes = _collect_handled(project)
+        reported: set[str] = set()
+        for site in exact:
+            if site.value in sent_values or site.value in reported:
+                continue
+            reported.add(site.value)
+            yield Finding(
+                code=self.code,
+                message=(
+                    f"handler dispatches on kind {site.value!r} but nothing "
+                    "sends it"
+                ),
+                path=site.module.rel_path,
+                line=site.line,
+                col=site.col,
+            )
+        for site in prefixes:
+            key = f"{site.value}*"
+            if key in reported:
+                continue
+            if any(value.startswith(site.value) for value in sorted(sent_values)):
+                continue
+            reported.add(key)
+            yield Finding(
+                code=self.code,
+                message=(
+                    f"handler dispatches on kind prefix {site.value!r} but "
+                    "nothing sends a matching kind"
+                ),
+                path=site.module.rel_path,
+                line=site.line,
+                col=site.col,
+            )

@@ -561,4 +561,8 @@ class ReconciliationManager:
         refs = set(threat.affected_refs)
         if threat.context_ref is not None:
             refs.add(threat.context_ref)
-        return any(self.replication.had_replica_conflict(ref) for ref in refs)
+        # sorted(): any() short-circuits, so the lookup order (and any
+        # instrumentation it triggers) must not follow set order.
+        return any(
+            self.replication.had_replica_conflict(ref) for ref in sorted(refs, key=str)
+        )

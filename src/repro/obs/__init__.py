@@ -32,10 +32,13 @@ from .sinks import (
     read_jsonl,
     write_jsonl,
 )
+from .registry import METRICS, TRACE_EVENTS
 from .tracing import EVENT_TYPES, NullTracer, TraceEvent, Tracer, jsonable
 
 __all__ = [
     "EVENT_TYPES",
+    "METRICS",
+    "TRACE_EVENTS",
     "Counter",
     "Gauge",
     "Histogram",

@@ -18,41 +18,16 @@ import enum
 import json
 from typing import TYPE_CHECKING, Any, Iterable
 
+from .registry import TRACE_EVENTS
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.clock import SimClock
     from .sinks import TraceSink
 
 # The event vocabulary emitted by the built-in instrumentation.  Tracers
 # accept unknown types too (applications may emit their own), but the
-# middleware sticks to these.
-EVENT_TYPES = frozenset(
-    {
-        "invocation",
-        "validation",
-        "threat",
-        "replication_update",
-        "replication_conflict",
-        "primary_promotion",
-        "view_change",
-        "suspicion",
-        "message_send",
-        "message_drop",
-        "multicast",
-        "topology_change",
-        # reconciliation
-        "reconcile_group",
-        "threat_sync",
-        "tx_commit",
-        "tx_rollback",
-        # fault injection & resilience
-        "fault_injected",
-        "fault_event",
-        "retry",
-        "breaker_transition",
-        "breaker_fast_fail",
-        "deadline_exceeded",
-    }
-)
+# middleware sticks to the canonical registry.
+EVENT_TYPES = frozenset(TRACE_EVENTS)
 
 
 def jsonable(value: Any) -> Any:

@@ -765,7 +765,9 @@ class _JmlFramework:
                 "constraint": check.name,
                 "kind": check.spec.kind,
                 "class": type(obj).__name__,
-                "object": id(obj),
+                # The workload's value identity, not id(): addresses vary
+                # between runs and would make the blame trace irreproducible.
+                "object": getattr(obj, "name", None),
             }
         )
         if len(self.trace) > 64:

@@ -144,13 +144,15 @@ def checks_by_method(
             else:
                 inv.setdefault(key, []).append(item)
     keys = set(pre) | set(post) | set(inv)
+    # sorted(): the mapping's insertion (and therefore iteration) order
+    # must not inherit the set's arbitrary order.
     return {
         key: MethodChecks(
             tuple(pre.get(key, ())),
             tuple(post.get(key, ())),
             tuple(inv.get(key, ())),
         )
-        for key in keys
+        for key in sorted(keys)
     }
 
 

@@ -1,0 +1,15 @@
+"""A module every replint rule is happy with."""
+
+import random
+
+
+def pick(rng: random.Random, options: list[str]) -> str:
+    return options[rng.randrange(len(options))]
+
+
+def stable_order(members: set[str]) -> list[str]:
+    return sorted(members)
+
+
+def timestamp(clock) -> float:
+    return clock.now()

@@ -1,0 +1,21 @@
+"""One violation per determinism rule, each in its own function."""
+
+import random
+import time
+
+
+def wall_clock() -> float:
+    return time.time()  # DET001
+
+
+def unseeded() -> float:
+    return random.random()  # DET002
+
+
+def address_key(obj) -> int:
+    return id(obj)  # DET003
+
+
+def leak_order(names: list[str]) -> list[str]:
+    members = set(names)
+    return [member for member in members]  # DET004

@@ -1,0 +1,26 @@
+"""The det_bad module with every hazard fixed the blessed way."""
+
+import random
+
+
+def sim_clock(clock) -> float:
+    return clock.now()
+
+
+def seeded(rng: random.Random) -> float:
+    return rng.random()
+
+
+def stable_key(obj) -> str:
+    return obj.ref
+
+
+def keep_order(names: list[str]) -> list[str]:
+    members = set(names)
+    return [member for member in sorted(members)]
+
+
+def reduce_only(names: list[str]) -> int:
+    # Order-insensitive consumers of a set are allowed as-is.
+    members = set(names)
+    return len(members) + sum(len(member) for member in sorted(members))

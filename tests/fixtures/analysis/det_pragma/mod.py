@@ -1,0 +1,21 @@
+"""Pragma grammar: every hazard here is deliberately suppressed."""
+
+import time
+
+
+def trailing() -> float:
+    return time.time()  # replint: ignore[DET001]
+
+
+def comment_line() -> float:
+    # This study measures real CPU cost, so wall clock is the point.
+    # replint: ignore[DET001]
+    return time.time()
+
+
+def ignore_all(obj) -> int:
+    return id(obj)  # replint: ignore
+
+
+def multi(obj) -> float:
+    return time.time() + id(obj)  # replint: ignore[DET001,DET003]

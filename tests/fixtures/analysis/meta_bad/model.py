@@ -1,0 +1,36 @@
+"""Constraint metadata pointing at entity state that is not there."""
+
+
+class Employee(Entity):  # noqa: F821 - base resolved by name only
+    fields = {"name": None, "salary": None}
+
+    def promote(self):
+        return self.set_salary(self.get_salary() + 1)
+
+
+REGISTRATIONS = (
+    AffectedMethod("Employee", "set_salary"),  # noqa: F821 - fine
+    AffectedMethod("Employee", "terminate"),  # noqa: F821 - META001: no such method
+    AffectedMethod("Ghost", "get_name"),  # noqa: F821 - META001: no such entity
+)
+
+
+class SalaryFloor(Constraint):  # noqa: F821
+    context_class = "Employee"
+    priority = ConstraintPriority.RELAXABLE  # noqa: F821
+    # META002: no min_satisfaction_degree declared.
+
+    def validate(self, ctx):
+        obj = ctx.get_context_object()
+        if obj.get_bonus() > 0:  # META003: 'bonus' is not a declared field
+            return False
+        obj._get("grade")  # META003: 'grade' is not a declared field
+        obj.frobnicate()  # META003: no such method
+        return obj.get_salary() >= 0
+
+
+RELAXED = ocl_invariant(  # noqa: F821
+    "salary >= 0",
+    priority=ConstraintPriority.RELAXABLE,  # noqa: F821
+    # META002: relaxable without a min_satisfaction_degree keyword.
+)

@@ -1,0 +1,32 @@
+"""Constraint metadata consistent with the entity it targets."""
+
+
+class Employee(Entity):  # noqa: F821 - base resolved by name only
+    fields = {"name": None, "salary": None}
+
+    def promote(self):
+        return self.set_salary(self.get_salary() + 1)
+
+
+REGISTRATIONS = (
+    AffectedMethod("Employee", "set_salary"),  # noqa: F821 - synthesized accessor
+    AffectedMethod("Employee", "promote"),  # noqa: F821 - defined method
+)
+
+
+class SalaryFloor(Constraint):  # noqa: F821
+    context_class = "Employee"
+    priority = ConstraintPriority.RELAXABLE  # noqa: F821
+    min_satisfaction_degree = SatisfactionDegree.WEAKLY_SATISFIED  # noqa: F821
+
+    def validate(self, ctx):
+        obj = ctx.get_context_object()
+        obj._get("salary")
+        return obj.get_salary() >= 0 and obj.promote() is not None
+
+
+RELAXED = ocl_invariant(  # noqa: F821
+    "salary >= 0",
+    priority=ConstraintPriority.RELAXABLE,  # noqa: F821
+    min_satisfaction_degree=SatisfactionDegree.WEAKLY_SATISFIED,  # noqa: F821
+)

@@ -1,0 +1,23 @@
+"""Sent kinds and dispatch arms that do not line up."""
+
+PING = "ping-req"
+
+
+class Sender:
+    def __init__(self, network):
+        self.network = network
+
+    def run(self):
+        self.network.multicast("a", PING, {"seq": 1})
+        self.network.send("a", "b", "orphan-kind", {})  # no dispatch arm
+
+
+class Receiver:
+    def handle(self, message):
+        if message.kind == PING:
+            return "pong"
+        if message.kind == "never-sent":  # nothing sends this
+            return "dead"
+        if message.kind.startswith("replica-"):  # nothing sends replica-*
+            return "replica"
+        return "ignored"

@@ -1,0 +1,24 @@
+"""Every sent kind has an arm; every arm matches a sent kind."""
+
+PING = "ping-req"
+
+
+class Sender:
+    def __init__(self, network):
+        self.network = network
+
+    def run(self):
+        self.network.multicast("a", PING, {"seq": 1})
+        self.network.send("a", "b", "data-update", {})
+        self.network.send("a", "b", "replica-create", {})
+
+
+class Receiver:
+    def handle(self, message):
+        if message.kind == PING:
+            return "pong"
+        if message.kind in ("data-update",):
+            return "stored"
+        if message.kind.startswith("replica-"):
+            return "replica"
+        return "ignored"

@@ -1,0 +1,9 @@
+"""An invariant whose probe mutates the world it is observing."""
+
+
+class ConvergedReplicas(Invariant):  # noqa: F821 - base resolved by name
+    def check(self, probe):
+        states = probe.cluster.replica_states("emp-1")
+        probe.cluster.invoke("emp-1", "set_salary", 0)  # PRB001: a write
+        rebuild_index(states)  # noqa: F821 - PRB001: arbitrary function
+        return len(set(states.values())) <= 1

@@ -1,0 +1,14 @@
+"""An invariant probe that only observes."""
+
+
+class ConvergedReplicas(Invariant):  # noqa: F821 - base resolved by name
+    def begin_run(self, probe):
+        self._refs = sorted(probe.cluster.write_targets("emp-1"))
+
+    def check(self, probe):
+        states = probe.cluster.replica_states("emp-1")
+        self._note(states)  # the invariant's own bookkeeping is fine
+        return len(set(states.values())) <= 1 and probe.network.is_healthy()
+
+    def _note(self, states):
+        self.last = dict(states)

@@ -1,0 +1,8 @@
+"""Emits one registered and one unregistered name of each kind."""
+
+
+def wire(obs):
+    obs.tracer.emit("known_event", node="a")
+    obs.tracer.emit("mystery_event", node="a")
+    obs.metrics.counter("known_total", "a registered counter")
+    obs.metrics.counter("mystery_total", "an unregistered counter")

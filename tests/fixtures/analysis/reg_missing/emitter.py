@@ -1,0 +1,5 @@
+"""A tree that emits trace events but carries no obs/registry.py."""
+
+
+def wire(obs):
+    obs.tracer.emit("orphan_event", node="a")

@@ -1,0 +1,432 @@
+"""replint: engine, rule families, pragmas, baseline, reporters, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import cli
+from repro.analysis.baseline import (
+    BaselineComparison,
+    compare,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import (
+    Finding,
+    all_rules,
+    load_project,
+    run_analysis,
+)
+from repro.analysis.reporting import REPORT_VERSION, render_json, render_text
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+SRC_REPRO = Path(__file__).parents[1] / "src" / "repro"
+
+
+def codes_of(result) -> list[str]:
+    return [finding.code for finding in result.findings]
+
+
+def run_family(fixture: str, prefix: str):
+    selected = frozenset(
+        rule.code for rule in all_rules() if rule.code.startswith(prefix)
+    )
+    return run_analysis(FIXTURES / fixture, codes=selected)
+
+
+# ---------------------------------------------------------------- engine
+
+
+class TestEngine:
+    def test_rule_registry_covers_every_family(self):
+        prefixes = {rule.code[:3] for rule in all_rules()}
+        assert prefixes == {"DET", "REG", "MSG", "MET", "PRB"}
+
+    def test_rule_codes_are_unique_and_described(self):
+        rules = all_rules()
+        assert len({rule.code for rule in rules}) == len(rules)
+        for rule in rules:
+            assert rule.name and rule.description
+
+    def test_load_project_skips_pycache(self, tmp_path):
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "stale.py").write_text("x = 2\n")
+        project = load_project(tmp_path)
+        assert [module.rel_path for module in project.modules] == ["keep.py"]
+
+    def test_findings_are_deterministically_ordered(self):
+        first = run_family("det_bad", "DET")
+        second = run_family("det_bad", "DET")
+        assert [f.to_dict() for f in first.findings] == [
+            f.to_dict() for f in second.findings
+        ]
+
+    def test_constant_resolution_across_modules(self):
+        project = load_project(FIXTURES / "msg_bad")
+        assert project.constants["PING"] == "ping-req"
+
+
+# ---------------------------------------------------------- determinism
+
+
+class TestDeterminismRules:
+    def test_bad_fixture_fires_every_rule(self):
+        result = run_family("det_bad", "DET")
+        assert codes_of(result) == ["DET001", "DET002", "DET003", "DET004"]
+
+    def test_good_fixture_is_clean(self):
+        result = run_family("det_good", "DET")
+        assert result.findings == []
+
+    def test_findings_carry_location(self):
+        result = run_family("det_bad", "DET")
+        for finding in result.findings:
+            assert finding.path == "mod.py"
+            assert finding.line > 0
+            assert finding.location == f"mod.py:{finding.line}"
+
+
+# ------------------------------------------------------------- registry
+
+
+class TestRegistryRules:
+    def test_unregistered_event_and_metric(self):
+        result = run_family("reg_bad", "REG")
+        by_code = {}
+        for finding in result.findings:
+            by_code.setdefault(finding.code, []).append(finding.message)
+        assert any("mystery_event" in m for m in by_code["REG001"])
+        assert any("mystery_total" in m for m in by_code["REG002"])
+
+    def test_dead_entries_flagged_on_the_registry_file(self):
+        result = run_family("reg_bad", "REG")
+        dead = [f for f in result.findings if f.code == "REG003"]
+        assert {f.path for f in dead} == {"obs/registry.py"}
+        assert sorted(m for f in dead for m in [f.message]) == [
+            "METRICS entry 'dead_total' has no counter/gauge/histogram call site",
+            "TRACE_EVENTS entry 'dead_event' has no emit() call site",
+        ]
+
+    def test_good_fixture_is_clean(self):
+        result = run_family("reg_good", "REG")
+        assert result.findings == []
+
+    def test_missing_registry_is_itself_a_finding(self):
+        result = run_family("reg_missing", "REG")
+        assert codes_of(result) == ["REG001"]
+        assert "no obs/registry.py" in result.findings[0].message
+
+
+# ------------------------------------------------------------- messages
+
+
+class TestMessageRules:
+    def test_sent_but_unhandled(self):
+        result = run_family("msg_bad", "MSG")
+        unhandled = [f for f in result.findings if f.code == "MSG001"]
+        assert len(unhandled) == 1
+        assert "'orphan-kind'" in unhandled[0].message
+
+    def test_handled_but_never_sent(self):
+        result = run_family("msg_bad", "MSG")
+        unsent = sorted(f.message for f in result.findings if f.code == "MSG002")
+        assert len(unsent) == 2
+        assert "'never-sent'" in unsent[0]
+        assert "prefix 'replica-'" in unsent[1]
+
+    def test_good_fixture_is_clean(self):
+        result = run_family("msg_good", "MSG")
+        assert result.findings == []
+
+
+# -------------------------------------------------- constraint metadata
+
+
+class TestConstraintMetadataRules:
+    def test_affected_method_targets_must_exist(self):
+        result = run_family("meta_bad", "META")
+        messages = [f.message for f in result.findings if f.code == "META001"]
+        assert len(messages) == 2
+        assert any("Employee.terminate" in m for m in messages)
+        assert any("'Ghost'" in m for m in messages)
+
+    def test_relaxable_needs_min_degree(self):
+        result = run_family("meta_bad", "META")
+        messages = [f.message for f in result.findings if f.code == "META002"]
+        assert len(messages) == 2  # the class and the ocl_invariant call
+
+    def test_validate_reads_only_declared_state(self):
+        result = run_family("meta_bad", "META")
+        messages = sorted(f.message for f in result.findings if f.code == "META003")
+        assert len(messages) == 3
+        assert any("'grade'" in m for m in messages)
+        assert any("get_bonus" in m for m in messages)
+        assert any("frobnicate" in m for m in messages)
+
+    def test_good_fixture_is_clean(self):
+        result = run_family("meta_good", "META")
+        assert result.findings == []
+
+
+# ---------------------------------------------------------- probe purity
+
+
+class TestProbePurityRule:
+    def test_impure_probe_flagged(self):
+        result = run_family("prb_bad", "PRB")
+        messages = sorted(f.message for f in result.findings)
+        assert len(messages) == 2
+        assert any(".invoke()" in m for m in messages)
+        assert any("rebuild_index()" in m for m in messages)
+
+    def test_pure_probe_is_clean(self):
+        result = run_family("prb_good", "PRB")
+        assert result.findings == []
+
+
+# -------------------------------------------------------------- pragmas
+
+
+class TestPragmas:
+    def test_every_hazard_suppressed(self):
+        result = run_family("det_pragma", "DET")
+        assert result.findings == []
+        assert result.suppressed == 5
+
+    def test_unsuppressed_codes_still_fire(self):
+        # The pragma names DET001/DET003 only; a DET002 on the same line
+        # would still fire — simulate by selecting a code the pragma does
+        # not cover on the trailing-pragma fixture line.
+        project = load_project(FIXTURES / "det_pragma")
+        module = project.modules[0]
+        line = next(
+            lineno
+            for lineno, codes in sorted(module.pragmas.items())
+            if codes == frozenset({"DET001", "DET003"})
+        )
+        assert module.suppressed("DET001", line)
+        assert module.suppressed("DET003", line)
+        assert not module.suppressed("DET002", line)
+
+    def test_ignore_all_pragma(self):
+        project = load_project(FIXTURES / "det_pragma")
+        module = project.modules[0]
+        line = next(
+            lineno
+            for lineno, codes in sorted(module.pragmas.items())
+            if codes == frozenset({"*"})
+        )
+        assert module.suppressed("DET004", line)
+
+
+# ------------------------------------------------------------- baseline
+
+
+def _finding(code="DET001", path="mod.py", message="boom", line=3) -> Finding:
+    return Finding(code=code, message=message, path=path, line=line)
+
+
+class TestBaseline:
+    def test_fingerprint_is_line_free(self):
+        a = _finding(line=3)
+        b = _finding(line=99)
+        assert a.fingerprint == b.fingerprint == "DET001:mod.py:boom"
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [_finding(), _finding(), _finding(code="REG001")])
+        loaded = load_baseline(path)
+        assert loaded == {
+            "DET001:mod.py:boom": 2,
+            "REG001:mod.py:boom": 1,
+        }
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+        assert load_baseline(None) == {}
+
+    def test_new_vs_baselined_vs_expired(self):
+        findings = [_finding(), _finding(code="REG001")]
+        baseline = {
+            _finding().fingerprint: 1,
+            "MSG001:gone.py:fixed long ago": 1,
+        }
+        comparison = compare(findings, baseline)
+        assert [f.code for f in comparison.new] == ["REG001"]
+        assert [f.code for f in comparison.baselined] == ["DET001"]
+        assert comparison.expired == ["MSG001:gone.py:fixed long ago"]
+        assert not comparison.ok
+
+    def test_count_overflow_is_new(self):
+        findings = [_finding(), _finding()]
+        comparison = compare(findings, {_finding().fingerprint: 1})
+        assert len(comparison.baselined) == 1
+        assert len(comparison.new) == 1
+
+    def test_clean_run_against_empty_baseline_is_ok(self):
+        assert compare([], {}).ok
+
+
+# ------------------------------------------------------------ reporting
+
+
+class TestReporting:
+    def _comparison(self):
+        return compare([_finding()], {})
+
+    def test_json_schema_is_pinned(self):
+        result = run_family("det_bad", "DET")
+        payload = json.loads(render_json(result, compare(result.findings, {})))
+        assert payload["version"] == REPORT_VERSION == 1
+        assert set(payload) == {
+            "version",
+            "root",
+            "rules",
+            "summary",
+            "new",
+            "baselined",
+            "expired",
+        }
+        assert set(payload["summary"]) == {
+            "files_scanned",
+            "new",
+            "baselined",
+            "expired",
+            "suppressed",
+            "ok",
+        }
+        for row in payload["new"]:
+            assert set(row) == {"code", "message", "path", "line", "col", "fingerprint"}
+
+    def test_json_is_deterministic(self):
+        result = run_family("det_bad", "DET")
+        comparison = compare(result.findings, {})
+        assert render_json(result, comparison) == render_json(result, comparison)
+
+    def test_text_report_shape(self):
+        result = run_family("det_bad", "DET")
+        text = render_text(result, compare(result.findings, {}))
+        assert text.endswith("FAIL")
+        assert "mod.py:" in text
+
+    def test_text_report_ok_when_clean(self):
+        result = run_family("det_good", "DET")
+        text = render_text(result, compare(result.findings, {}))
+        assert text.endswith("OK")
+
+    def test_expired_entries_reported(self):
+        result = run_family("det_good", "DET")
+        comparison = compare(result.findings, {"DET001:gone.py:fixed": 1})
+        text = render_text(result, comparison)
+        assert "expired entry" in text
+        assert text.endswith("FAIL")
+
+
+# ------------------------------------------------------------------ CLI
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        rc = cli.main(["--root", str(FIXTURES / "det_good"), "--no-baseline"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip().endswith("OK")
+
+    def test_dirty_tree_exits_one(self, capsys):
+        rc = cli.main(["--root", str(FIXTURES / "det_bad"), "--no-baseline"])
+        assert rc == 1
+        assert capsys.readouterr().out.strip().endswith("FAIL")
+
+    def test_baseline_silences_known_findings(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = cli.main(
+            [
+                "--root",
+                str(FIXTURES / "det_bad"),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        assert rc == 0
+        rc = cli.main(
+            ["--root", str(FIXTURES / "det_bad"), "--baseline", str(baseline)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_select_restricts_rules(self, capsys):
+        rc = cli.main(
+            [
+                "--root",
+                str(FIXTURES / "msg_bad"),
+                "--no-baseline",
+                "--select",
+                "MSG002",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["MSG002"]
+        assert {row["code"] for row in payload["new"]} == {"MSG002"}
+
+    def test_unknown_select_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--select", "NOPE999"])
+        assert excinfo.value.code == 2
+
+    def test_output_file_written(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        cli.main(
+            [
+                "--root",
+                str(FIXTURES / "det_bad"),
+                "--no-baseline",
+                "--format",
+                "json",
+                "--output",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["ok"] is False
+
+    def test_list_rules(self, capsys):
+        assert cli.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "REG001", "MSG001", "META001", "PRB001"):
+            assert code in out
+
+
+# ----------------------------------------------------- the real package
+
+
+class TestSelfCheck:
+    def test_package_is_clean_against_empty_baseline(self):
+        """src/repro carries no replint findings (the committed baseline
+        is empty); any new hazard fails here before it fails CI."""
+        result = run_analysis(SRC_REPRO)
+        assert compare(result.findings, {}).ok, [
+            f"{f.location}: {f.code} {f.message}" for f in result.findings
+        ]
+
+    def test_committed_baseline_is_empty(self):
+        baseline = load_baseline(
+            Path(__file__).parents[1] / "analysis" / "baseline.json"
+        )
+        assert baseline == {}
+
+    def test_registry_matches_tracing_vocabulary(self):
+        from repro.obs import EVENT_TYPES
+        from repro.obs.registry import METRICS, TRACE_EVENTS
+
+        assert EVENT_TYPES == frozenset(TRACE_EVENTS)
+        assert all(description for description in TRACE_EVENTS.values())
+        assert all(description for description in METRICS.values())
