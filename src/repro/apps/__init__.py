@@ -1,6 +1,21 @@
-"""Application scenarios from the dissertation: flight booking, alarm
-tracking (ATS), and telecom management (DTMS)."""
+"""Application scenarios from the dissertation — flight booking, alarm
+tracking (ATS), telecom management (DTMS), project management — plus the
+auction domain, all registered in :mod:`repro.apps.registry` as
+data-driven :class:`~repro.apps.registry.Domain` specs."""
 
-from . import ats, dtms, flightbooking, projectmgmt
+from . import ats, auction, dtms, flightbooking, projectmgmt, registry
+from .registry import DOMAINS, Domain, domain_names, get_domain, register_domain
 
-__all__ = ["ats", "dtms", "flightbooking", "projectmgmt"]
+__all__ = [
+    "DOMAINS",
+    "Domain",
+    "ats",
+    "auction",
+    "domain_names",
+    "dtms",
+    "flightbooking",
+    "get_domain",
+    "projectmgmt",
+    "register_domain",
+    "registry",
+]

@@ -1,0 +1,127 @@
+"""Online auction application — a fifth workload domain for the corpus.
+
+Auctions are hosted across the cluster; bidders connected to different
+nodes keep placing bids during a network partition (availability over
+integrity, as in the flight-booking story).  Two constraints:
+
+* ``ReservePriceMet`` — relaxable: a *closed* auction that names a winner
+  must have reached its reserve price.  Closing an auction in one
+  partition while the reserve price is raised in another produces exactly
+  the cross-partition consistency threats §3.1 classifies.
+* ``AuctionPriceSanity`` — critical intra-object bookkeeping: prices are
+  never negative.  Like the DTMS site-ownership constraint, it must never
+  be traded for availability.
+
+``place_bid`` is monotone by construction — a bid below the current
+highest simply does not take — so replica merges by latest-update-wins
+stay within the state space a committed bid produced.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    Constraint,
+    ConstraintPriority,
+    ConstraintScope,
+    ConstraintType,
+    ConstraintValidationContext,
+    SatisfactionDegree,
+)
+from ..core.metadata import AffectedMethod, ConstraintRegistration
+from ..objects import Entity
+
+
+class Auction(Entity):
+    """One auction lot with a reserve price and a highest-bid counter."""
+
+    fields = {
+        "item": "",
+        "reserve_price": 0,
+        "highest_bid": 0,
+        "winner": "",
+        "bids": 0,
+        "closed": False,
+    }
+
+    def place_bid(self, bidder: str, amount: int) -> int:
+        """Record a bid; returns the (possibly unchanged) highest bid.
+
+        Bids on closed auctions and bids at or below the current highest
+        are counted but do not take — the business rule keeps the highest
+        bid monotone, so no bid ever lowers the price.
+        """
+        if amount < 0:
+            raise ValueError("bids cannot be negative")
+        self._set("bids", self._get("bids") + 1)
+        if self._get("closed") or amount <= self._get("highest_bid"):
+            return self._get("highest_bid")
+        self._set("highest_bid", amount)
+        self._set("winner", bidder)
+        return amount
+
+    def close_auction(self) -> str:
+        """Close the lot; returns the winning bidder (may be empty)."""
+        self._set("closed", True)
+        return self._get("winner")
+
+    def reopen(self) -> None:
+        """Re-list the lot (e.g. after a failed reserve negotiation)."""
+        self._set("closed", False)
+
+    def current_price(self) -> int:
+        return self._get("highest_bid")
+
+
+class ReservePriceMet(Constraint):
+    """A closed auction with a winner must have met its reserve price."""
+
+    name = "ReservePriceMet"
+    constraint_type = ConstraintType.INVARIANT_HARD
+    priority = ConstraintPriority.RELAXABLE
+    scope = ConstraintScope.INTRA_OBJECT
+    context_class = "Auction"
+    # Bids mostly rise and reserve prices rarely move, so a check against
+    # a possibly-stale replica that came out satisfied is acceptable.
+    min_satisfaction_degree = SatisfactionDegree.POSSIBLY_SATISFIED
+    description = "closed auctions with a winner reached the reserve price"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        auction = ctx.get_context_object()
+        if not auction.get_closed() or not auction.get_winner():
+            return True
+        return auction.get_highest_bid() >= auction.get_reserve_price()
+
+
+class AuctionPriceSanity(Constraint):
+    """Prices never go negative — plain bookkeeping, never tradeable."""
+
+    name = "AuctionPriceSanity"
+    constraint_type = ConstraintType.INVARIANT_HARD
+    priority = ConstraintPriority.CRITICAL
+    scope = ConstraintScope.INTRA_OBJECT
+    context_class = "Auction"
+    description = "reserve price and highest bid are non-negative"
+
+    def validate(self, ctx: ConstraintValidationContext) -> bool:
+        auction = ctx.get_context_object()
+        return auction.get_reserve_price() >= 0 and auction.get_highest_bid() >= 0
+
+
+def auction_constraint_registrations() -> list[ConstraintRegistration]:
+    return [
+        ConstraintRegistration(
+            ReservePriceMet(),
+            (
+                AffectedMethod("Auction", "close_auction"),
+                AffectedMethod("Auction", "place_bid"),
+                AffectedMethod("Auction", "set_reserve_price"),
+            ),
+        ),
+        ConstraintRegistration(
+            AuctionPriceSanity(),
+            (
+                AffectedMethod("Auction", "set_reserve_price"),
+                AffectedMethod("Auction", "set_highest_bid"),
+            ),
+        ),
+    ]

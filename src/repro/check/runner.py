@@ -19,7 +19,6 @@ import io
 from dataclasses import dataclass, field
 from typing import Any, Callable, ContextManager, Iterator
 
-from ..apps.flightbooking import RebookingReconciliationHandler
 from ..core import AcceptAllHandler, ConsistencyThreatRejected, ConstraintViolated
 from ..net import DeadlineExceededError, NodeCrashedError, UnreachableError
 from ..obs import Observability
@@ -77,10 +76,17 @@ class RunResult:
 class _OpDriver:
     """Fires scenario ops inside scheduler events and tallies outcomes."""
 
-    def __init__(self, cluster: Any, refs: tuple[Any, ...], probe: RunProbe) -> None:
+    def __init__(
+        self,
+        cluster: Any,
+        refs: tuple[Any, ...],
+        probe: RunProbe,
+        scenario: Scenario | None = None,
+    ) -> None:
         self.cluster = cluster
         self.refs = refs
         self.probe = probe
+        self.scenario = scenario
         self.attempted = 0
         self.served = 0
         self.blocked = 0
@@ -98,10 +104,10 @@ class _OpDriver:
         self.attempted += 1
         try:
             if op.kind == "reconcile":
-                handler = RebookingReconciliationHandler(
-                    lambda ref: self.cluster.entity_on(
-                        min(self.cluster.nodes), ref
-                    )
+                handler = (
+                    self.scenario.reconcile_handler(self.cluster)
+                    if self.scenario is not None
+                    else None
                 )
                 self.probe.just_reconciled = self.cluster.reconcile(
                     constraint_handler=handler
@@ -151,7 +157,7 @@ def run_schedule(
     m_violations = obs.registry.counter("check_violations_total", "invariant violations found")
 
     probe = RunProbe(cluster=cluster, refs=refs)
-    driver = _OpDriver(cluster, refs, probe)
+    driver = _OpDriver(cluster, refs, probe, scenario)
     start = cluster.clock.now
     driver.install(scenario.ops, start)
     scenario.shifted_fault_schedule(start).install(cluster.network)

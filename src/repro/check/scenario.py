@@ -1,11 +1,18 @@
 """Scenarios: a workload composed with a fault script, as plain data.
 
 A :class:`Scenario` is everything one model-checking run needs to rebuild
-the world from scratch — node ids, flight-booking entities, a timestamped
-operation list, and a :class:`~repro.faults.schedule.FaultSchedule` —
-kept as serializable data so a violating schedule can be emitted as a
-self-contained JSON repro and greedily shrunk (drop an op, drop a fault,
-re-run).
+the world from scratch — node ids, an application *domain*, entity-group
+count and parameters, a timestamped operation list, and a
+:class:`~repro.faults.schedule.FaultSchedule` — kept as serializable data
+so a violating schedule can be emitted as a self-contained JSON repro and
+greedily shrunk (drop an op, drop a fault, re-run).
+
+Domains are resolved through :mod:`repro.apps.registry`: the same
+scenario schema drives flight booking, ATS, DTMS, project management and
+auctions, so the corpus generator, the chaos replayer, and the DFS
+explorer all consume one format.  Serialization is canonical — sorted
+keys, JSON-native values — and round-trips losslessly
+(``Scenario.from_dict(s.to_dict()) == s``).
 
 Operations are *scheduled as simulator events*, not called inline: that
 is what creates choice points.  Ops that share a timestamp with each
@@ -22,19 +29,29 @@ split with a partial heal (PR 3's epoch-aware path) before full repair.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
-from ..apps.flightbooking import Flight, ticket_constraint_registration
+from ..apps.registry import Domain, get_domain
 from ..cluster import ClusterConfig, DedisysCluster
 from ..faults.schedule import FaultSchedule
+
+
+def _jsonify(value: Any) -> Any:
+    """Canonicalize a parameter value to JSON-native types."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    return value
 
 
 @dataclass(frozen=True)
 class Op:
     """One scheduled workload operation.
 
-    ``kind`` is ``"invoke"`` (a business method on flight ``ref_index``)
-    or ``"reconcile"`` (run the cluster's reconciliation phase).
+    ``kind`` is ``"invoke"`` (a business method on the entity at
+    ``ref_index``) or ``"reconcile"`` (run the cluster's reconciliation
+    phase).
     """
 
     at: float
@@ -62,7 +79,7 @@ class Op:
             "node": self.node,
             "ref_index": self.ref_index,
             "method": self.method,
-            "args": list(self.args),
+            "args": _jsonify(list(self.args)),
         }
 
     @classmethod
@@ -79,37 +96,78 @@ class Op:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A reproducible world: cluster shape + workload + fault script."""
+    """A reproducible world: domain + cluster shape + workload + faults.
+
+    ``entities`` counts *entity groups* of the domain's layout (one
+    flight, one alarm/report pair, one wired channel, ...); ``params``
+    carries domain and topology knobs (``seats``, ``reserve_price``,
+    ``node_weights``, ``burst_loss``, ``partition_sensitive``, ...) and
+    must stay JSON-native — construction canonicalizes tuples to lists so
+    serialization round-trips to an equal scenario.
+    """
 
     name: str
+    domain: str = "flight_booking"
     node_ids: tuple[str, ...] = ("n1", "n2", "n3")
-    flights: int = 2
-    seats: int = 100
+    entities: int = 2
     protocol: str = "p4"
+    params: dict[str, Any] = field(default_factory=dict)
     ops: tuple[Op, ...] = ()
     # Fault script as plain ``(at, action, args)`` tuples (JSON-able).
     fault_events: tuple[tuple[float, str, tuple[Any, ...]], ...] = ()
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "node_ids", tuple(self.node_ids))
+        object.__setattr__(self, "params", _jsonify(dict(self.params)))
+
     # ------------------------------------------------------------------
     # building
     # ------------------------------------------------------------------
+    @property
+    def domain_spec(self) -> Domain:
+        return get_domain(self.domain)
+
     def build(self, obs: Any = None) -> tuple[DedisysCluster, tuple[Any, ...]]:
-        """A fresh cluster with the flights deployed (faults NOT installed)."""
+        """A fresh cluster with the entities deployed (faults NOT installed)."""
+        spec = self.domain_spec
+        weights = self.params.get("node_weights")
         cluster = DedisysCluster(
-            ClusterConfig(node_ids=self.node_ids, protocol=self.protocol, obs=obs)
-        )
-        cluster.deploy(Flight)
-        cluster.register_constraint(ticket_constraint_registration())
-        refs = tuple(
-            cluster.create_entity(
-                self.node_ids[index % len(self.node_ids)],
-                "Flight",
-                f"F{index}",
-                {"flight_number": f"F{index}", "seats": self.seats, "sold": 0},
+            ClusterConfig(
+                node_ids=self.node_ids,
+                protocol=self.protocol,
+                obs=obs,
+                node_weights=(
+                    {str(node): float(weight) for node, weight in weights.items()}
+                    if weights
+                    else None
+                ),
+                seed=int(self.params.get("seed", 0)),
             )
-            for index in range(self.flights)
         )
+        spec.deploy(cluster, self.params)
+        refs = spec.create_entities(cluster, self.node_ids, self.entities, self.params)
+        burst_loss = self.params.get("burst_loss")
+        if burst_loss is not None:
+            from ..faults.injector import FaultInjector
+            from ..faults.models import GilbertElliottLoss
+
+            loss = float(burst_loss)
+            injector = FaultInjector(seed=int(self.params.get("seed", 0)))
+            injector.set_default_model(
+                lambda: GilbertElliottLoss(
+                    p_good_to_bad=0.25 * loss / (0.6 - loss),
+                    p_bad_to_good=0.25,
+                    loss_good=0.0,
+                    loss_bad=0.6,
+                )
+            )
+            cluster.network.install_fault_injector(injector)
         return cluster, refs
+
+    def reconcile_handler(self, cluster: DedisysCluster) -> Any:
+        """The domain's constraint reconciliation handler (may be None)."""
+        factory = self.domain_spec.reconcile_handler
+        return factory(cluster) if factory is not None else None
 
     def fault_schedule(self) -> FaultSchedule:
         return FaultSchedule.from_events(self.fault_events)
@@ -140,24 +198,33 @@ class Scenario:
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
+            "domain": self.domain,
             "node_ids": list(self.node_ids),
-            "flights": self.flights,
-            "seats": self.seats,
+            "entities": self.entities,
             "protocol": self.protocol,
+            "params": _jsonify(self.params),
             "ops": [op.to_dict() for op in self.ops],
             "fault_events": [
-                [at, action, list(args)] for at, action, args in self.fault_events
+                [at, action, _jsonify(list(args))]
+                for at, action, args in self.fault_events
             ],
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        params = dict(data.get("params", {}))
+        # Legacy (pre-corpus) scenario JSON: flight count and seat knob
+        # lived at the top level.
+        if "seats" in data:
+            params.setdefault("seats", data["seats"])
+        entities = data.get("entities", data.get("flights", 2))
         return cls(
             name=data["name"],
+            domain=data.get("domain", "flight_booking"),
             node_ids=tuple(data["node_ids"]),
-            flights=data["flights"],
-            seats=data["seats"],
+            entities=entities,
             protocol=data.get("protocol", "p4"),
+            params=params,
             ops=tuple(Op.from_dict(op) for op in data["ops"]),
             fault_events=tuple(
                 (at, action, _freeze_args(action, args))

@@ -1,0 +1,7 @@
+"""``python -m repro.corpus`` dispatches to the CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

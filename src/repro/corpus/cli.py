@@ -1,0 +1,160 @@
+"""Command-line entry point: ``python -m repro.corpus``.
+
+Three subcommands, all seeded and wall-clock-free so their outputs are
+byte-reproducible:
+
+* ``generate`` — emit scenario JSON (a list, sorted keys) for one domain
+  or all of them;
+* ``validate`` — structural checks on scenario JSON files; exit ``1`` on
+  any issue;
+* ``sweep`` — generate + validate + replay across domains, write the
+  availability/violations JSON, exit ``1`` if a *healthy* (fault-free)
+  scenario violated an invariant.
+
+Exit codes: ``0`` clean, ``1`` findings/violations, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from ..apps.registry import domain_names
+from ..check.scenario import Scenario
+from .generator import PRESETS, preset_config, generate_scenario
+from .sweep import healthy_violations, run_sweep
+from .validator import validate_scenario
+
+
+def _dump(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def _write(text: str, out: Path | None) -> None:
+    if out is None:
+        sys.stdout.write(text)
+    else:
+        out.write_text(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.corpus",
+        description="seeded multi-domain scenario corpus",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="emit scenario JSON")
+    generate.add_argument("--domain", default=None, choices=sorted(domain_names()),
+                          help="one domain (default: all registered domains)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--count", type=int, default=1,
+                          help="scenarios per domain (seeds seed..seed+count-1)")
+    generate.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    generate.add_argument("--nodes", type=int, default=None)
+    generate.add_argument("--entities", type=int, default=None)
+    generate.add_argument("--ops", type=int, default=None)
+    generate.add_argument("--faults", type=int, default=None)
+    generate.add_argument("--weighted-topology", action="store_true")
+    generate.add_argument("--partition-sensitive", action="store_true")
+    generate.add_argument("--burst-loss", type=float, default=None)
+    generate.add_argument("--out", type=Path, default=None,
+                          help="write JSON here instead of stdout")
+
+    validate = sub.add_parser("validate", help="check scenario JSON files")
+    validate.add_argument("files", nargs="+", type=Path)
+
+    sweep = sub.add_parser("sweep", help="generate, validate and replay a corpus")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--per-domain", type=int, default=3)
+    sweep.add_argument("--domains", default=None,
+                       help="comma-separated subset (default: all)")
+    sweep.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    sweep.add_argument("--buckets", type=int, default=8,
+                       help="availability-curve buckets per scenario")
+    sweep.add_argument("--out", type=Path, default=None,
+                       help="write the sweep JSON here as well as stdout summary")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    overrides: dict[str, Any] = {}
+    for knob in ("nodes", "entities", "ops", "faults"):
+        value = getattr(args, knob)
+        if value is not None:
+            overrides[knob] = value
+    if args.weighted_topology:
+        overrides["weighted_topology"] = True
+    if args.partition_sensitive:
+        overrides["partition_sensitive"] = True
+    if args.burst_loss is not None:
+        overrides["burst_loss"] = args.burst_loss
+    domains = [args.domain] if args.domain else domain_names()
+    scenarios = [
+        generate_scenario(preset_config(domain, args.seed + offset, args.preset, **overrides))
+        for domain in domains
+        for offset in range(args.count)
+    ]
+    _write(_dump([scenario.to_dict() for scenario in scenarios]), args.out)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    failed = False
+    for path in args.files:
+        payload = json.loads(path.read_text())
+        documents = payload if isinstance(payload, list) else [payload]
+        for document in documents:
+            scenario = Scenario.from_dict(document)
+            issues = validate_scenario(scenario)
+            if issues:
+                failed = True
+                for issue in issues:
+                    print(f"{path}:{scenario.name}: {issue.code}: {issue.message}")
+            else:
+                print(f"{path}:{scenario.name}: ok")
+    return 1 if failed else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    domains = args.domains.split(",") if args.domains else None
+    result = run_sweep(
+        seed=args.seed,
+        per_domain=args.per_domain,
+        domains=domains,
+        preset=args.preset,
+        buckets=args.buckets,
+    )
+    if args.out is not None:
+        _write(_dump(result), args.out)
+    else:
+        sys.stdout.write(_dump(result))
+    for domain in sorted(result["domains"]):
+        domain_result = result["domains"][domain]
+        availability = domain_result["availability"]
+        print(
+            f"{domain}: scenarios={len(domain_result['scenarios'])} "
+            f"availability={availability} violations={domain_result['violations']}",
+            file=sys.stderr,
+        )
+    bad = healthy_violations(result)
+    if bad:
+        print(f"{bad} invariant violation(s) on healthy scenarios", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2

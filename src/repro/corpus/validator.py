@@ -1,0 +1,221 @@
+"""Corpus validator: reject ill-formed scenarios before anything runs them.
+
+Scenario-as-data only pays off if consumers can trust the data, so every
+scenario — generated or hand-written — passes through here before the
+chaos replayer, the explorer or a benchmark touches it.  Checks are
+structural (no cluster is built): the domain must be registered, every op
+must name a known node and a business method the domain's ``methods``
+table allows for the entity class at its ``ref_index``, ops must not
+originate on a node inside a crash window, fault actions must exist with
+the right arity and name known nodes, partition groups must not overlap,
+and concurrent fault episodes must not contradict each other (a node
+crashed twice without recovering, a link failed twice without healing).
+
+Issues are data too: ``(code, message)`` pairs with stable codes, so
+tests assert on codes and humans read messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..apps.registry import DOMAINS, get_domain
+from ..check.scenario import Scenario
+from ..faults.schedule import ACTIONS
+from ..obs import ensure_obs
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding with a stable, assertable code."""
+
+    code: str
+    message: str
+
+
+def _issue(issues: list[Issue], code: str, message: str) -> None:
+    issues.append(Issue(code=code, message=message))
+
+
+def _crash_windows(
+    scenario: Scenario,
+) -> list[tuple[str, float, float]]:
+    """``(node, from, until)`` per crash; open crashes close at +inf.
+    ``recover_node`` and ``heal_all`` both end a crash window."""
+    windows: list[tuple[str, float, float]] = []
+    open_crashes: dict[str, float] = {}
+    for at, action, args in sorted(
+        scenario.fault_events, key=lambda event: (event[0], event[1])
+    ):
+        if action == "crash_node" and args:
+            node = str(args[0])
+            if node not in open_crashes:
+                open_crashes[node] = at
+        elif action == "recover_node" and args:
+            node = str(args[0])
+            if node in open_crashes:
+                windows.append((node, open_crashes.pop(node), at))
+        elif action == "heal_all":
+            for node in sorted(open_crashes):
+                windows.append((node, open_crashes.pop(node), at))
+    for node in sorted(open_crashes):
+        windows.append((node, open_crashes[node], float("inf")))
+    return windows
+
+
+def _validate_faults(scenario: Scenario, issues: list[Issue]) -> None:
+    nodes = set(scenario.node_ids)
+    crashed: set[str] = set()
+    failed_links: set[tuple[str, str]] = set()
+    for at, action, args in sorted(
+        scenario.fault_events, key=lambda event: (event[0], event[1])
+    ):
+        if action not in ACTIONS:
+            _issue(issues, "unknown-fault", f"unknown fault action {action!r} at {at}")
+            continue
+        arity = ACTIONS[action]
+        if arity is not None and len(args) != arity:
+            _issue(
+                issues,
+                "bad-fault-arity",
+                f"{action} at {at} takes {arity} args, got {len(args)}",
+            )
+            continue
+        if action in ("crash_node", "recover_node"):
+            node = str(args[0])
+            if node not in nodes:
+                _issue(issues, "unknown-node", f"{action} at {at} targets unknown node {node!r}")
+                continue
+            if action == "crash_node":
+                if node in crashed:
+                    _issue(
+                        issues,
+                        "overlapping-fault",
+                        f"crash_node at {at}: {node!r} is already crashed",
+                    )
+                crashed.add(node)
+            else:
+                if node not in crashed:
+                    _issue(
+                        issues,
+                        "overlapping-fault",
+                        f"recover_node at {at}: {node!r} is not crashed",
+                    )
+                crashed.discard(node)
+        elif action in ("fail_link", "heal_link"):
+            a, b = str(args[0]), str(args[1])
+            for node in (a, b):
+                if node not in nodes:
+                    _issue(
+                        issues,
+                        "unknown-node",
+                        f"{action} at {at} names unknown node {node!r}",
+                    )
+            link = (min(a, b), max(a, b))
+            if action == "fail_link":
+                if link in failed_links:
+                    _issue(
+                        issues,
+                        "overlapping-fault",
+                        f"fail_link at {at}: link {link} is already failed",
+                    )
+                failed_links.add(link)
+            else:
+                failed_links.discard(link)
+        elif action == "partition":
+            seen: set[str] = set()
+            for group in args:
+                for node in group:
+                    name = str(node)
+                    if name not in nodes:
+                        _issue(
+                            issues,
+                            "unknown-node",
+                            f"partition at {at} names unknown node {name!r}",
+                        )
+                    if name in seen:
+                        _issue(
+                            issues,
+                            "overlapping-fault",
+                            f"partition at {at}: node {name!r} in two groups",
+                        )
+                    seen.add(name)
+        elif action == "heal_all":
+            crashed.clear()
+            failed_links.clear()
+
+
+def _validate_ops(scenario: Scenario, issues: list[Issue]) -> None:
+    domain = get_domain(scenario.domain)
+    nodes = set(scenario.node_ids)
+    windows = _crash_windows(scenario)
+    ref_count = scenario.entities * len(domain.layout)
+    for position, op in enumerate(scenario.ops):
+        if op.kind == "reconcile":
+            continue
+        where = f"op[{position}] at {op.at}"
+        if op.node not in nodes:
+            _issue(issues, "unknown-node", f"{where} runs on unknown node {op.node!r}")
+        if not 0 <= op.ref_index < ref_count:
+            _issue(
+                issues,
+                "bad-ref",
+                f"{where} targets ref {op.ref_index}, scenario has {ref_count}",
+            )
+            continue
+        cls = domain.ref_class(op.ref_index)
+        if op.method not in domain.methods.get(cls, ()):
+            _issue(
+                issues,
+                "unknown-op",
+                f"{where}: {cls}.{op.method} is not in the {scenario.domain} grammar",
+            )
+        for node, start, until in windows:
+            if node == op.node and start <= op.at < until:
+                _issue(
+                    issues,
+                    "op-on-crashed-node",
+                    f"{where} runs on {op.node!r}, crashed during [{start}, {until})",
+                )
+                break
+
+
+def validate_scenario(scenario: Scenario, obs: Any = None) -> list[Issue]:
+    """All structural problems of ``scenario`` (empty list == well-formed)."""
+    issues: list[Issue] = []
+    if scenario.domain not in DOMAINS:
+        _issue(
+            issues,
+            "unknown-domain",
+            f"unknown domain {scenario.domain!r}; registered: {sorted(DOMAINS)}",
+        )
+        _report(scenario, issues, obs)
+        return issues
+    if not scenario.node_ids:
+        _issue(issues, "unknown-node", "scenario has no nodes")
+    if scenario.entities < 1:
+        _issue(issues, "bad-ref", f"scenario needs >= 1 entity group, has {scenario.entities}")
+    _validate_faults(scenario, issues)
+    _validate_ops(scenario, issues)
+    _report(scenario, issues, obs)
+    return issues
+
+
+def _report(scenario: Scenario, issues: list[Issue], obs: Any) -> None:
+    if issues:
+        ensure_obs(obs).registry.counter(
+            "corpus_validation_issues_total", "structural problems found in scenarios"
+        ).inc(len(issues), domain=scenario.domain)
+
+
+def validate_corpus(
+    scenarios: Iterable[Scenario], obs: Any = None
+) -> dict[str, list[Issue]]:
+    """Issues per scenario name, only for scenarios that have any."""
+    report: dict[str, list[Issue]] = {}
+    for scenario in scenarios:
+        issues = validate_scenario(scenario, obs=obs)
+        if issues:
+            report[scenario.name] = issues
+    return report

@@ -21,6 +21,8 @@ from .chaos import (
     ChaosReport,
     ChaosRunner,
     InvariantResult,
+    ReplayReport,
+    replay_scenario,
     run_chaos,
 )
 from .injector import FaultInjector
@@ -66,8 +68,10 @@ __all__ = [
     "InvariantResult",
     "LinkFaultModel",
     "PASS",
+    "ReplayReport",
     "ResilienceConfig",
     "ResilienceInterceptor",
     "RetryPolicy",
+    "replay_scenario",
     "run_chaos",
 ]

@@ -357,30 +357,18 @@ class ChaosRunner:
         recon: Any,
         report: ChaosReport,
     ) -> None:
-        checks: list[InvariantResult] = []
+        report.invariants = [
+            check_replicas_converge(cluster, refs),
+            self._committed_state_survives(cluster, refs, committed),
+            check_no_accepted_threat_lost(cluster, pre_identities, recon),
+            check_cluster_healthy_again(cluster, recon),
+        ]
 
-        # 1. Replica convergence after heal + reconciliation.
-        diverged: list[str] = []
-        for ref in refs:
-            states = set()
-            for node_id in cluster.nodes:
-                node = cluster.nodes[node_id]
-                if not node.container.has(ref):
-                    states.add(("missing", node_id))
-                    continue
-                entity = node.container.resolve(ref)
-                states.add(tuple(sorted(entity.state().items())))
-            if len(states) != 1:
-                diverged.append(f"{ref}: {sorted(map(str, states))}")
-        checks.append(
-            InvariantResult(
-                "replicas_converge",
-                not diverged,
-                "; ".join(diverged[:3]),
-            )
-        )
-
-        # 2. Committed updates survive: the surviving counter value was
+    @staticmethod
+    def _committed_state_survives(
+        cluster: Any, refs: list[Any], committed: dict[Any, set[int]]
+    ) -> InvariantResult:
+        # Committed updates survive: the surviving counter value was
         # actually produced by a committed write (or the initial create).
         lost: list[str] = []
         for ref in refs:
@@ -391,52 +379,236 @@ class ChaosRunner:
             value = first.container.resolve(ref).state()["counter"]
             if value not in committed[ref]:
                 lost.append(f"{ref}: final {value} not in committed set")
-        checks.append(
-            InvariantResult("committed_state_survives", not lost, "; ".join(lost[:3]))
+        return InvariantResult(
+            "committed_state_survives", not lost, "; ".join(lost[:3])
         )
 
-        # 3. No accepted threat lost from the threat log: every distinct
-        # threat present before reconciliation is accounted for — either
-        # re-evaluated (removed/resolved/deferred/postponed) by this run.
-        accounted = (
-            recon.satisfied_removed
-            + recon.violations_found
-            + recon.postponed
-        )
-        threat_ok = recon.threats_reevaluated >= len(pre_identities) and accounted >= len(
-            pre_identities
-        )
-        remaining = sum(
-            store.count_identities() for store in cluster.threat_stores.values()
-        )
-        if recon.postponed == 0 and recon.deferred == 0:
-            threat_ok = threat_ok and remaining == 0
-        checks.append(
-            InvariantResult(
-                "no_accepted_threat_lost",
-                threat_ok,
-                f"recorded={len(pre_identities)} reevaluated={recon.threats_reevaluated} "
-                f"accounted={accounted} remaining={remaining}",
-            )
-        )
 
-        # 4. The cluster is healthy again: one partition, no crashes, and
-        # every node perceives the HEALTHY mode (when reconciliation ran
-        # clean — postponed/deferred work legitimately keeps nodes out).
-        healthy = cluster.network.is_healthy()
-        if recon.postponed == 0 and recon.deferred == 0:
-            modes = {node: cluster.mode_of(node) for node in cluster.nodes}
-            healthy = healthy and all(
-                mode is SystemMode.HEALTHY for mode in modes.values()
-            )
-            detail = "" if healthy else str({n: m.value for n, m in modes.items()})
-        else:
-            detail = f"postponed={recon.postponed} deferred={recon.deferred}"
-        checks.append(InvariantResult("cluster_healthy_again", healthy, detail))
+# ----------------------------------------------------------------------
+# post-run invariants (shared between chaos runs and corpus replays)
+# ----------------------------------------------------------------------
+def check_replicas_converge(cluster: Any, refs: Any) -> InvariantResult:
+    """After heal + reconciliation every replica holds the same state."""
+    diverged: list[str] = []
+    for ref in refs:
+        states = set()
+        for node_id in cluster.nodes:
+            node = cluster.nodes[node_id]
+            if not node.container.has(ref):
+                states.add(("missing", node_id))
+                continue
+            entity = node.container.resolve(ref)
+            states.add(tuple(sorted(entity.state().items())))
+        if len(states) != 1:
+            diverged.append(f"{ref}: {sorted(map(str, states))}")
+    return InvariantResult(
+        "replicas_converge",
+        not diverged,
+        "; ".join(diverged[:3]),
+    )
 
-        report.invariants = checks
+
+def check_no_accepted_threat_lost(
+    cluster: Any, pre_identities: set[Any], recon: Any
+) -> InvariantResult:
+    """Every distinct threat present before reconciliation is accounted
+    for — re-evaluated and removed/resolved/deferred/postponed."""
+    accounted = (
+        recon.satisfied_removed
+        + recon.violations_found
+        + recon.postponed
+    )
+    threat_ok = recon.threats_reevaluated >= len(pre_identities) and accounted >= len(
+        pre_identities
+    )
+    remaining = sum(
+        store.count_identities() for store in cluster.threat_stores.values()
+    )
+    if recon.postponed == 0 and recon.deferred == 0:
+        threat_ok = threat_ok and remaining == 0
+    return InvariantResult(
+        "no_accepted_threat_lost",
+        threat_ok,
+        f"recorded={len(pre_identities)} reevaluated={recon.threats_reevaluated} "
+        f"accounted={accounted} remaining={remaining}",
+    )
+
+
+def check_cluster_healthy_again(cluster: Any, recon: Any) -> InvariantResult:
+    """One partition, no crashes, every node back in HEALTHY mode (when
+    reconciliation ran clean — postponed/deferred work legitimately keeps
+    nodes out)."""
+    healthy = cluster.network.is_healthy()
+    if recon.postponed == 0 and recon.deferred == 0:
+        modes = {node: cluster.mode_of(node) for node in cluster.nodes}
+        healthy = healthy and all(
+            mode is SystemMode.HEALTHY for mode in modes.values()
+        )
+        detail = "" if healthy else str({n: m.value for n, m in modes.items()})
+    else:
+        detail = f"postponed={recon.postponed} deferred={recon.deferred}"
+    return InvariantResult("cluster_healthy_again", healthy, detail)
 
 
 def run_chaos(**overrides: Any) -> ChaosReport:
     """Convenience one-shot: ``run_chaos(seed=3, fault_events=25).availability``."""
     return ChaosRunner(ChaosConfig(**overrides)).run()
+
+
+# ----------------------------------------------------------------------
+# scenario replay: the corpus-facing entry point
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayReport:
+    """Everything one scenario replay produced."""
+
+    scenario: str
+    domain: str
+    attempted: int = 0
+    served: int = 0
+    blocked: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+    threats_recorded: int = 0
+    invariants: list[InvariantResult] = field(default_factory=list)
+    reconciliation: Any = None
+    # Availability over time: one entry per bucket of the op window.
+    availability_curve: list[dict[str, Any]] = field(default_factory=list)
+    snapshot: dict[str, Any] = field(default_factory=dict)
+    trace_jsonl: str = ""
+
+    @property
+    def availability(self) -> float:
+        return self.served / self.attempted if self.attempted else 0.0
+
+    @property
+    def all_invariants_hold(self) -> bool:
+        return all(result.ok for result in self.invariants)
+
+    @property
+    def failed_invariants(self) -> list[InvariantResult]:
+        return [result for result in self.invariants if not result.ok]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able summary (sorted-key friendly; no trace, no snapshot)."""
+        return {
+            "scenario": self.scenario,
+            "domain": self.domain,
+            "attempted": self.attempted,
+            "served": self.served,
+            "blocked": self.blocked,
+            "availability": round(self.availability, 6),
+            "errors": dict(sorted(self.errors.items())),
+            "threats_recorded": self.threats_recorded,
+            "invariants": [
+                {"name": result.name, "ok": result.ok, "detail": result.detail}
+                for result in self.invariants
+            ],
+            "violations": [result.name for result in self.failed_invariants],
+            "availability_curve": self.availability_curve,
+        }
+
+
+def _availability_curve(
+    samples: list[tuple[float, bool]], horizon: float, buckets: int
+) -> list[dict[str, Any]]:
+    buckets = max(1, buckets)
+    span = horizon if horizon > 0 else 1.0
+    counts = [[0, 0] for _ in range(buckets)]
+    for at, ok in samples:
+        slot = min(int(at / span * buckets), buckets - 1)
+        counts[slot][0] += 1
+        if ok:
+            counts[slot][1] += 1
+    return [
+        {
+            "until": round((slot + 1) * span / buckets, 6),
+            "attempted": attempted,
+            "served": served,
+            "availability": round(served / attempted, 6) if attempted else None,
+        }
+        for slot, (attempted, served) in enumerate(counts)
+    ]
+
+
+def replay_scenario(scenario: Any, obs: Any = None, buckets: int = 8) -> ReplayReport:
+    """Replay one :class:`~repro.check.scenario.Scenario` under chaos rules.
+
+    The same scenario JSON the model checker explores runs here as a
+    single FIFO execution: ops fire as scheduler events, the fault script
+    installs on the network, and after a drain + heal + reconcile the
+    shared post-run invariants (convergence, threat accounting, recovery)
+    are evaluated.  The report carries a bucketed availability curve over
+    the op window — the per-domain series the corpus sweep records.
+    """
+    obs = obs if obs is not None else Observability()
+    cluster, refs = scenario.build(obs)
+    start = cluster.clock.now
+    report = ReplayReport(scenario=scenario.name, domain=scenario.domain)
+    samples: list[tuple[float, bool]] = []
+    handler = AcceptAllHandler()
+
+    def fire(op: Any) -> None:
+        report.attempted += 1
+        try:
+            if op.kind == "reconcile":
+                cluster.reconcile(
+                    constraint_handler=scenario.reconcile_handler(cluster)
+                )
+            else:
+                cluster.invoke(
+                    op.node,
+                    refs[op.ref_index],
+                    op.method,
+                    *op.args,
+                    negotiation_handler=handler,
+                )
+        except _BLOCKING_ERRORS as exc:
+            report.blocked += 1
+            name = type(exc).__name__
+            report.errors[name] = report.errors.get(name, 0) + 1
+            samples.append((op.at, False))
+        else:
+            report.served += 1
+            samples.append((op.at, True))
+
+    for op in scenario.ops:
+        cluster.scheduler.schedule_at(start + op.at, fire, op, label=op.label())
+    scenario.shifted_fault_schedule(start).install(cluster.network)
+    cluster.scheduler.drain()
+
+    pre_identities = {
+        identity
+        for store in cluster.threat_stores.values()
+        for identity in store.identities()
+    }
+    report.threats_recorded = len(pre_identities)
+    cluster.heal()
+    recon = cluster.reconcile(constraint_handler=scenario.reconcile_handler(cluster))
+    report.reconciliation = recon
+
+    report.invariants = [
+        check_replicas_converge(cluster, refs),
+        check_no_accepted_threat_lost(cluster, pre_identities, recon),
+        check_cluster_healthy_again(cluster, recon),
+    ]
+    horizon = max((op.at for op in scenario.ops), default=0.0)
+    report.availability_curve = _availability_curve(samples, horizon, buckets)
+
+    obs.emit(
+        "corpus_replay",
+        scenario=scenario.name,
+        domain=scenario.domain,
+        attempted=report.attempted,
+        served=report.served,
+        blocked=report.blocked,
+        violations=[result.name for result in report.failed_invariants],
+    )
+    obs.registry.counter(
+        "corpus_replay_ops_total", "workload ops replayed from corpus scenarios"
+    ).inc(report.attempted, domain=scenario.domain)
+
+    report.snapshot = cluster.snapshot()
+    stream = io.StringIO()
+    cluster.export_trace(stream)
+    report.trace_jsonl = stream.getvalue()
+    return report

@@ -52,6 +52,9 @@ TRACE_EVENTS: dict[str, str] = {
     "deadline_exceeded": "an invocation was abandoned at its deadline",
     # model checker
     "check_schedule": "one explored schedule finished, with fingerprint",
+    # scenario corpus
+    "corpus_scenario": "the corpus generator produced one scenario",
+    "corpus_replay": "one corpus scenario replayed end to end, with outcome",
 }
 
 #: Metric instrument names (counters/gauges/histograms), by name.
@@ -95,4 +98,9 @@ METRICS: dict[str, str] = {
     "check_decisions_total": "non-trivial scheduling choice points",
     "check_invariant_evals_total": "invariant evaluations performed",
     "check_violations_total": "invariant violations found",
+    # scenario corpus
+    "corpus_scenarios_total": "scenarios produced by the corpus generator",
+    "corpus_validation_issues_total": "structural problems found in scenarios",
+    "corpus_replay_ops_total": "workload ops replayed from corpus scenarios",
+    "corpus_violations_total": "invariant violations observed during corpus replays",
 }

@@ -1,0 +1,209 @@
+"""Generator shapes, validator rejections, CLI plumbing, sweep stability."""
+
+import json
+
+import pytest
+
+from repro.apps.registry import domain_names, get_domain
+from repro.check.scenario import Op, Scenario
+from repro.corpus import (
+    GeneratorConfig,
+    PRESETS,
+    generate_scenario,
+    grammar_for,
+    preset_config,
+    run_sweep,
+    validate_scenario,
+)
+from repro.corpus.cli import main as corpus_main
+from repro.corpus.sweep import healthy_violations
+
+
+# ----------------------------------------------------------------------
+# generator shapes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("domain", domain_names())
+def test_generated_scenarios_are_valid_by_construction(domain):
+    for seed in range(5):
+        scenario = generate_scenario(
+            GeneratorConfig(domain=domain, seed=seed, nodes=5, entities=3, ops=20, faults=2)
+        )
+        assert validate_scenario(scenario) == []
+
+
+@pytest.mark.parametrize("domain", domain_names())
+def test_ops_only_use_grammar_methods(domain):
+    scenario = generate_scenario(GeneratorConfig(domain=domain, seed=3, ops=30, faults=1))
+    spec = get_domain(domain)
+    allowed = {
+        (template.cls, template.method) for template in grammar_for(domain)
+    }
+    for op in scenario.ops:
+        if op.kind == "invoke":
+            assert (spec.ref_class(op.ref_index), op.method) in allowed
+
+
+def test_fault_plan_is_closed_and_ends_healed():
+    scenario = generate_scenario(
+        GeneratorConfig(domain="flight_booking", seed=5, nodes=6, ops=24, faults=3)
+    )
+    assert scenario.fault_events[-1][1] == "heal_all"
+    # Every crash has a recovery before the terminal heal.
+    crashes = [e for e in scenario.fault_events if e[1] == "crash_node"]
+    recoveries = [e for e in scenario.fault_events if e[1] == "recover_node"]
+    assert len(crashes) == len(recoveries)
+    # The final op reconciles after the terminal heal.
+    assert scenario.ops[-1].kind == "reconcile"
+    assert scenario.ops[-1].at > scenario.fault_events[-1][0]
+
+
+def test_collision_rate_produces_shared_timestamps():
+    scenario = generate_scenario(
+        GeneratorConfig(domain="auction", seed=2, ops=40, faults=0, collision_rate=0.6)
+    )
+    times = [op.at for op in scenario.ops if op.kind == "invoke"]
+    assert len(set(times)) < len(times)
+
+
+def test_presets_scale_and_unknown_preset_raises():
+    assert PRESETS["large"]["nodes"] >= 100
+    assert PRESETS["large"]["entities"] >= 1000
+    large = generate_scenario(preset_config("dtms", 1, "large"))
+    assert len(large.node_ids) == PRESETS["large"]["nodes"]
+    assert validate_scenario(large) == []
+    with pytest.raises(KeyError):
+        preset_config("dtms", 1, "colossal")
+
+
+def test_unknown_domain_raises_at_generation():
+    with pytest.raises(KeyError):
+        generate_scenario(GeneratorConfig(domain="warehouse", seed=0))
+
+
+# ----------------------------------------------------------------------
+# validator rejections
+# ----------------------------------------------------------------------
+def _codes(scenario):
+    return {issue.code for issue in validate_scenario(scenario)}
+
+
+def test_validator_rejects_unknown_domain():
+    assert _codes(Scenario(name="x", domain="warehouse")) == {"unknown-domain"}
+
+
+def test_validator_rejects_unknown_op_and_node():
+    scenario = Scenario(
+        name="x",
+        ops=(
+            Op(at=0.1, kind="invoke", node="n9", ref_index=0, method="sell_tickets"),
+            Op(at=0.2, kind="invoke", node="n1", ref_index=0, method="steal_tickets"),
+        ),
+    )
+    assert _codes(scenario) == {"unknown-node", "unknown-op"}
+
+
+def test_validator_rejects_out_of_range_ref():
+    scenario = Scenario(
+        name="x",
+        entities=2,
+        ops=(Op(at=0.1, kind="invoke", node="n1", ref_index=7, method="sell_tickets"),),
+    )
+    assert _codes(scenario) == {"bad-ref"}
+
+
+def test_validator_rejects_op_on_crashed_node():
+    scenario = Scenario(
+        name="x",
+        ops=(Op(at=0.3, kind="invoke", node="n2", ref_index=0, method="sell_tickets"),),
+        fault_events=(
+            (0.1, "crash_node", ("n2",)),
+            (0.5, "recover_node", ("n2",)),
+        ),
+    )
+    assert _codes(scenario) == {"op-on-crashed-node"}
+
+
+def test_validator_accepts_op_after_recovery():
+    scenario = Scenario(
+        name="x",
+        ops=(Op(at=0.6, kind="invoke", node="n2", ref_index=0, method="sell_tickets"),),
+        fault_events=(
+            (0.1, "crash_node", ("n2",)),
+            (0.5, "recover_node", ("n2",)),
+        ),
+    )
+    assert validate_scenario(scenario) == []
+
+
+def test_validator_rejects_bad_faults():
+    scenario = Scenario(
+        name="x",
+        fault_events=(
+            (0.1, "explode", ("n1",)),
+            (0.2, "crash_node", ()),
+            (0.3, "fail_link", ("n1", "n9")),
+        ),
+    )
+    assert _codes(scenario) == {"unknown-fault", "bad-fault-arity", "unknown-node"}
+
+
+def test_validator_rejects_overlapping_faults():
+    double_crash = Scenario(
+        name="x",
+        fault_events=(
+            (0.1, "crash_node", ("n1",)),
+            (0.2, "crash_node", ("n1",)),
+        ),
+    )
+    assert "overlapping-fault" in _codes(double_crash)
+    split_overlap = Scenario(
+        name="y",
+        fault_events=((0.1, "partition", (("n1", "n2"), ("n2", "n3"))),),
+    )
+    assert "overlapping-fault" in _codes(split_overlap)
+
+
+# ----------------------------------------------------------------------
+# sweep + CLI
+# ----------------------------------------------------------------------
+def test_sweep_is_deterministic_and_covers_all_domains():
+    first = run_sweep(seed=7, per_domain=2)
+    second = run_sweep(seed=7, per_domain=2)
+    assert first == second
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+    assert set(first["domains"]) == set(domain_names())
+    assert len(first["domains"]) >= 5
+    assert healthy_violations(first) == 0
+    for domain_result in first["domains"].values():
+        assert domain_result["availability"] is not None
+        for entry in domain_result["scenarios"]:
+            assert entry["issues"] == []
+            assert entry["availability_curve"]
+
+
+def test_cli_generate_validate_sweep(tmp_path, capsys):
+    out = tmp_path / "corpus.json"
+    assert corpus_main(
+        ["generate", "--domain", "ats", "--seed", "4", "--count", "2", "--out", str(out)]
+    ) == 0
+    documents = json.loads(out.read_text())
+    assert len(documents) == 2
+    assert all(doc["domain"] == "ats" for doc in documents)
+
+    assert corpus_main(["validate", str(out)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+    documents[0]["ops"][0]["method"] = "steal_tickets"
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(documents))
+    assert corpus_main(["validate", str(bad)]) == 1
+    assert "unknown-op" in capsys.readouterr().out
+
+    sweep_out = tmp_path / "sweep.json"
+    assert corpus_main(
+        ["sweep", "--seed", "7", "--per-domain", "1", "--out", str(sweep_out)]
+    ) == 0
+    capsys.readouterr()
+    sweep = json.loads(sweep_out.read_text())
+    assert sweep["violations"] == 0
+    assert set(sweep["domains"]) == set(domain_names())
