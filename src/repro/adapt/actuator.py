@@ -1,0 +1,397 @@
+"""The act side of the adaptation loop: guarded, reversible actions.
+
+:class:`AdaptationActuator` exposes the runtime knobs the policy engine
+may turn — constraint tradeability, minimum satisfaction degrees,
+per-class replication protocol, primary placement, and load shedding.
+Every action goes through :meth:`AdaptationActuator.validate` first (a
+dry run against the live constraint state and replica routing) and
+returns an :class:`AppliedAction` carrying an ``undo`` closure, so the
+engine can release it when conditions clear or roll it back when a
+probe window shows regression.
+
+Applied actions are appended to ``cluster.adaptation_actions`` — the
+shared ledger the :class:`~repro.check.invariants.AdaptationGuardrails`
+invariant audits during model checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from ..core import ConstraintPriority, SatisfactionDegree
+from ..core.metadata import ConstraintRegistration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import DedisysCluster
+    from ..objects import ObjectRef
+
+
+class ActionVetoed(RuntimeError):
+    """Pre-apply validation rejected an actuator action."""
+
+    def __init__(self, action: str, reason: str) -> None:
+        super().__init__(f"adaptation action {action!r} vetoed: {reason}")
+        self.action = action
+        self.reason = reason
+
+
+@dataclass
+class AppliedAction:
+    """One successfully applied actuator action, with its undo."""
+
+    action: str
+    args: Mapping[str, Any]
+    policy: str
+    applied_at: float
+    undo: Callable[[], None] = field(repr=False)
+    undone: bool = False
+    detail: str = ""
+
+
+#: Actuator action names, with one-line descriptions (the catalog the
+#: docs and the policy grammar reference).
+ACTIONS: dict[str, str] = {
+    "set_tradeability": "flip constraints on an entity class RELAXABLE/CRITICAL",
+    "set_min_degree": "raise or lower the minimum satisfaction degree for a class",
+    "set_protocol": "switch an entity class to another replication protocol",
+    "rehome_primaries": "move designated primaries of a class to the heaviest partition",
+    "shed_load": "refuse tradeable writes cluster-wide until released",
+}
+
+
+class AdaptationActuator:
+    """Validates and applies adaptation actions against a live cluster."""
+
+    def __init__(self, cluster: "DedisysCluster") -> None:
+        self.cluster = cluster
+        self.obs = cluster.obs
+        self._m_actions = self.obs.registry.counter(
+            "adapt_actions_total", "actuator actions, by action and status"
+        )
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    def validate(self, action: str, args: Mapping[str, Any]) -> str | None:
+        """Dry-run ``action``; returns a veto reason, or ``None`` if ok."""
+        if action not in ACTIONS:
+            return f"unknown action (catalog: {sorted(ACTIONS)})"
+        return getattr(self, f"_validate_{action}")(dict(args))
+
+    def apply(
+        self, action: str, args: Mapping[str, Any], policy: str = ""
+    ) -> AppliedAction:
+        """Validate then apply; raises :class:`ActionVetoed` on refusal."""
+        reason = self.validate(action, args)
+        if reason is not None:
+            self._note(action, "vetoed", policy=policy, reason=reason)
+            raise ActionVetoed(action, reason)
+        undo, detail = getattr(self, f"_apply_{action}")(dict(args))
+        applied = AppliedAction(
+            action=action,
+            args=dict(args),
+            policy=policy,
+            applied_at=self.cluster.clock.now,
+            undo=undo,
+            detail=detail,
+        )
+        self.cluster.adaptation_actions.append(applied)
+        self._note(action, "applied", policy=policy, detail=detail)
+        return applied
+
+    def release(self, applied: AppliedAction, status: str = "released") -> None:
+        """Undo a previously applied action (idempotent)."""
+        if applied.undone:
+            return
+        applied.undo()
+        applied.undone = True
+        self._note(applied.action, status, policy=applied.policy)
+
+    # ------------------------------------------------------------------
+    # set_tradeability
+    # ------------------------------------------------------------------
+    def _validate_set_tradeability(self, args: dict[str, Any]) -> str | None:
+        entity_class = args.get("entity_class")
+        if not entity_class or "tradeable" not in args:
+            return "needs entity_class and tradeable"
+        registrations = self._class_registrations(str(entity_class))
+        if not registrations:
+            return f"no constraints affect class {entity_class!r}"
+        if not bool(args["tradeable"]):
+            return self._veto_if_blind(str(entity_class), registrations)
+        return None
+
+    def _apply_set_tradeability(
+        self, args: dict[str, Any]
+    ) -> tuple[Callable[[], None], str]:
+        entity_class = str(args["entity_class"])
+        target = (
+            ConstraintPriority.RELAXABLE
+            if bool(args["tradeable"])
+            else ConstraintPriority.CRITICAL
+        )
+        registrations = self._class_registrations(entity_class)
+        previous = [
+            (registration, registration.constraint.priority)
+            for registration in registrations
+        ]
+        for registration in registrations:
+            registration.constraint.priority = target
+
+        def undo() -> None:
+            for registration, priority in previous:
+                registration.constraint.priority = priority
+
+        names = ",".join(sorted(r.name for r in registrations))
+        return undo, f"{entity_class}:{target.name}:{names}"
+
+    # ------------------------------------------------------------------
+    # set_min_degree
+    # ------------------------------------------------------------------
+    def _validate_set_min_degree(self, args: dict[str, Any]) -> str | None:
+        entity_class = args.get("entity_class")
+        degree = args.get("degree")
+        if not entity_class or not degree:
+            return "needs entity_class and degree"
+        if str(degree) not in SatisfactionDegree.__members__:
+            return (
+                f"unknown degree {degree!r} "
+                f"(use one of {sorted(SatisfactionDegree.__members__)})"
+            )
+        registrations = self._class_registrations(str(entity_class))
+        if not registrations:
+            return f"no constraints affect class {entity_class!r}"
+        target = SatisfactionDegree[str(degree)]
+        tightening = any(
+            target.value > registration.constraint.min_satisfaction_degree.value
+            for registration in registrations
+        )
+        if tightening:
+            return self._veto_if_blind(str(entity_class), registrations)
+        return None
+
+    def _apply_set_min_degree(
+        self, args: dict[str, Any]
+    ) -> tuple[Callable[[], None], str]:
+        entity_class = str(args["entity_class"])
+        target = SatisfactionDegree[str(args["degree"])]
+        registrations = self._class_registrations(entity_class)
+        previous = [
+            (registration, registration.constraint.min_satisfaction_degree)
+            for registration in registrations
+        ]
+        for registration in registrations:
+            registration.constraint.min_satisfaction_degree = target
+
+        def undo() -> None:
+            for registration, degree in previous:
+                registration.constraint.min_satisfaction_degree = degree
+
+        return undo, f"{entity_class}:{target.name}"
+
+    # ------------------------------------------------------------------
+    # set_protocol
+    # ------------------------------------------------------------------
+    def _validate_set_protocol(self, args: dict[str, Any]) -> str | None:
+        entity_class = args.get("entity_class")
+        spec = args.get("protocol")
+        if not entity_class or not spec:
+            return "needs entity_class and protocol"
+        replication = self.cluster.replication
+        if replication is None:
+            return "cluster has no replication service"
+        if not replication.is_replicated_class(str(entity_class)):
+            return f"class {entity_class!r} is not replicated"
+        try:
+            protocol = self.cluster.build_protocol(str(spec))
+        except (KeyError, ValueError) as exc:
+            return f"bad protocol spec: {exc}"
+        # Dry run: install the candidate protocol, check that every ref of
+        # the class still routes each partition's writes to at most one
+        # in-partition target, then restore.
+        previous = replication.set_class_protocol(str(entity_class), protocol)
+        try:
+            for ref in replication.refs_of_class(str(entity_class)):
+                for partition, targets in sorted(
+                    self.cluster.write_targets(ref).items(), key=lambda kv: sorted(kv[0])
+                ):
+                    if len(targets) > 1:
+                        return (
+                            f"{spec} would route {ref} to {len(targets)} "
+                            "primaries in one partition"
+                        )
+                    if targets and targets[0] not in partition:
+                        return f"{spec} would route {ref} outside its partition"
+        finally:
+            replication.set_class_protocol(str(entity_class), previous)
+        return None
+
+    def _apply_set_protocol(
+        self, args: dict[str, Any]
+    ) -> tuple[Callable[[], None], str]:
+        entity_class = str(args["entity_class"])
+        replication = self.cluster.replication
+        assert replication is not None
+        protocol = self.cluster.build_protocol(str(args["protocol"]))
+        previous = replication.set_class_protocol(entity_class, protocol)
+        previous_name = previous.name if previous is not None else replication.protocol.name
+        if self.obs.enabled:
+            self.obs.emit(
+                "adapt_mode_switch",
+                entity_class=entity_class,
+                protocol=protocol.name,
+                previous=previous_name,
+            )
+
+        def undo() -> None:
+            replication.set_class_protocol(entity_class, previous)
+            if self.obs.enabled:
+                self.obs.emit(
+                    "adapt_mode_switch",
+                    entity_class=entity_class,
+                    protocol=previous_name,
+                    previous=protocol.name,
+                )
+
+        return undo, f"{entity_class}:{previous_name}->{protocol.name}"
+
+    # ------------------------------------------------------------------
+    # rehome_primaries
+    # ------------------------------------------------------------------
+    def _validate_rehome_primaries(self, args: dict[str, Any]) -> str | None:
+        entity_class = args.get("entity_class")
+        if not entity_class:
+            return "needs entity_class"
+        replication = self.cluster.replication
+        if replication is None:
+            return "cluster has no replication service"
+        if not replication.refs_of_class(str(entity_class)):
+            return f"no replicated instances of {entity_class!r}"
+        if self._heaviest_partition() is None:
+            return "no reachable partition to rehome into"
+        return None
+
+    def _apply_rehome_primaries(
+        self, args: dict[str, Any]
+    ) -> tuple[Callable[[], None], str]:
+        entity_class = str(args["entity_class"])
+        replication = self.cluster.replication
+        assert replication is not None
+        best = self._heaviest_partition()
+        assert best is not None
+        weights = self.cluster.gms
+        moved: list[tuple["ObjectRef", Any]] = []
+        for ref in replication.refs_of_class(entity_class):
+            info = replication.info(ref)
+            candidates = [n for n in info.replica_nodes if n in best]
+            if not candidates:
+                continue
+            target = max(candidates, key=lambda n: (weights.weight_of((n,)), n))
+            if target == info.designated_primary:
+                continue
+            moved.append((ref, replication.rehome_primary(ref, target)))
+
+        def undo() -> None:
+            for ref, old_primary in moved:
+                replication.rehome_primary(ref, old_primary)
+
+        return undo, f"{entity_class}:moved={len(moved)}"
+
+    def _heaviest_partition(self) -> frozenset[Any] | None:
+        partitions = self.cluster.network.partitions()
+        if not partitions:
+            return None
+        weights = self.cluster.gms
+        return max(
+            partitions,
+            key=lambda part: (weights.weight_of(part), tuple(sorted(part))),
+        )
+
+    # ------------------------------------------------------------------
+    # shed_load
+    # ------------------------------------------------------------------
+    def _validate_shed_load(self, args: dict[str, Any]) -> str | None:
+        if not self.cluster.ccmgrs:
+            return "cluster has no constraint consistency managers"
+        return None
+
+    def _apply_shed_load(
+        self, args: dict[str, Any]
+    ) -> tuple[Callable[[], None], str]:
+        previous = {
+            node_id: self.cluster.ccmgrs[node_id].shed_tradeable_writes
+            for node_id in sorted(self.cluster.ccmgrs)
+        }
+        for node_id in sorted(self.cluster.ccmgrs):
+            self.cluster.ccmgrs[node_id].shed_tradeable_writes = True
+
+        def undo() -> None:
+            for node_id, flag in sorted(previous.items()):
+                self.cluster.ccmgrs[node_id].shed_tradeable_writes = flag
+
+        return undo, f"nodes={len(previous)}"
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _class_registrations(self, entity_class: str) -> list[ConstraintRegistration]:
+        """Registrations with at least one affected method on the class."""
+        return [
+            registration
+            for registration in self.cluster.repository.all_registrations()
+            if any(
+                affected.class_name == entity_class
+                for affected in registration.affected_methods
+            )
+        ]
+
+    def _veto_if_blind(
+        self, entity_class: str, registrations: list[ConstraintRegistration]
+    ) -> str | None:
+        """Dry-run tighten actions against one live entity of the class.
+
+        Tightening (CRITICAL priority, higher minimum degree) is only
+        allowed when the constraint can currently be *evaluated*: an
+        UNCHECKABLE outcome means the actuator would be turning writes
+        away blind, with no way to tell which ones the constraint even
+        objects to.  A VIOLATED outcome does NOT veto — already-violated
+        writes are rejected regardless of priority, so tightening then
+        just stops the bleeding.
+        """
+        entity = self._sample_entity(entity_class)
+        if entity is None or not self.cluster.ccmgrs:
+            return None  # structural checks only; nothing live to probe
+        ccmgr = self.cluster.ccmgrs[min(self.cluster.ccmgrs)]
+        for registration in sorted(registrations, key=lambda r: r.name):
+            outcome = ccmgr.validate_registration(registration, entity)
+            if outcome.degree is SatisfactionDegree.UNCHECKABLE:
+                return (
+                    f"constraint {registration.name!r} is uncheckable on "
+                    f"{entity_class} right now; refusing to tighten blind"
+                )
+        return None
+
+    def _sample_entity(self, entity_class: str) -> Any:
+        replication = self.cluster.replication
+        if replication is None:
+            return None
+        refs = replication.refs_of_class(entity_class)
+        if not refs:
+            return None
+        ref = refs[0]
+        info = replication.info(ref)
+        for node_id in (info.designated_primary, *sorted(info.replica_nodes)):
+            try:
+                return self.cluster.entity_on(node_id, ref)
+            except Exception:
+                continue
+        return None
+
+    def _note(self, action: str, status: str, policy: str = "", **data: Any) -> None:
+        if not self.obs.enabled:
+            return
+        self._m_actions.inc(action=action, status=status)
+        self.obs.emit(
+            "adapt_action", action=action, status=status, policy=policy, **data
+        )

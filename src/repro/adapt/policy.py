@@ -1,0 +1,144 @@
+"""Declarative adaptation policies (threshold + hysteresis + cooldown).
+
+A policy is plain data: a tuple of :class:`Condition` thresholds over the
+named signals :mod:`repro.adapt.signals` produces, an actuator action to
+take when they all hold, and an optional probe that undoes the action if
+the post-action window shows regression.  Policies round-trip through
+JSON (``to_dict``/``from_dict``) so scenario ``params`` — and therefore
+the corpus — can carry them verbatim.
+
+Hysteresis lives in :attr:`Condition.clear_threshold`: a condition
+*fires* against ``threshold`` but only *clears* once the signal drops
+past ``clear_threshold`` (default: the fire threshold), so a signal
+hovering at the boundary cannot flap the action on every tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Comparison operators a condition may use, by spelling.
+CONDITION_OPS: dict[str, Any] = {
+    ">=": lambda value, threshold: value >= threshold,
+    ">": lambda value, threshold: value > threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    "<": lambda value, threshold: value < threshold,
+}
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One threshold test over a named signal."""
+
+    signal: str
+    op: str
+    threshold: float
+    #: Hysteresis: the condition clears only when the *fire* test against
+    #: this value fails.  ``None`` means clear at the fire threshold.
+    clear_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.signal:
+            raise ValueError("condition needs a signal name")
+        if self.op not in CONDITION_OPS:
+            raise ValueError(
+                f"unknown condition op {self.op!r} (use one of "
+                f"{sorted(CONDITION_OPS)})"
+            )
+
+    def met(self, value: float) -> bool:
+        """Does the fire test hold for ``value``?"""
+        return bool(CONDITION_OPS[self.op](value, self.threshold))
+
+    def cleared(self, value: float) -> bool:
+        """Has the condition released, honouring hysteresis?"""
+        clear_at = (
+            self.threshold if self.clear_threshold is None else self.clear_threshold
+        )
+        return not CONDITION_OPS[self.op](value, clear_at)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "signal": self.signal,
+            "op": self.op,
+            "threshold": self.threshold,
+        }
+        if self.clear_threshold is not None:
+            data["clear_threshold"] = self.clear_threshold
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Condition":
+        clear = data.get("clear_threshold")
+        return cls(
+            signal=str(data["signal"]),
+            op=str(data["op"]),
+            threshold=float(data["threshold"]),
+            clear_threshold=None if clear is None else float(clear),
+        )
+
+
+@dataclass(frozen=True)
+class AdaptationPolicy:
+    """One observe→decide→act rule, composable as data.
+
+    The engine fires :attr:`action` when every ``when`` condition is met
+    and the policy is out of cooldown; it releases (undoes) the action
+    once every ``when`` condition has cleared.  If :attr:`rollback_if` is
+    non-empty, a probe fires ``probe_window`` after the action applied
+    and undoes it early when any regression condition holds.
+    """
+
+    name: str
+    when: tuple[Condition, ...]
+    action: str
+    args: Mapping[str, Any] = field(default_factory=dict)
+    #: Seconds of simulated time after a release/rollback before the
+    #: policy may fire again.
+    cooldown: float = 1.0
+    #: Seconds after apply at which the rollback probe runs (0 = never).
+    probe_window: float = 0.0
+    rollback_if: tuple[Condition, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("policy needs a name")
+        if not self.when:
+            raise ValueError(f"policy {self.name!r} needs at least one condition")
+        if not self.action:
+            raise ValueError(f"policy {self.name!r} needs an action")
+        if self.cooldown < 0 or self.probe_window < 0:
+            raise ValueError(f"policy {self.name!r}: negative cooldown/probe window")
+        if self.rollback_if and self.probe_window <= 0:
+            raise ValueError(
+                f"policy {self.name!r}: rollback_if needs a positive probe_window"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "name": self.name,
+            "when": [condition.to_dict() for condition in self.when],
+            "action": self.action,
+            "args": dict(self.args),
+            "cooldown": self.cooldown,
+        }
+        if self.probe_window:
+            data["probe_window"] = self.probe_window
+        if self.rollback_if:
+            data["rollback_if"] = [condition.to_dict() for condition in self.rollback_if]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdaptationPolicy":
+        return cls(
+            name=str(data["name"]),
+            when=tuple(Condition.from_dict(c) for c in data["when"]),
+            action=str(data["action"]),
+            args=dict(data.get("args", {})),
+            cooldown=float(data.get("cooldown", 1.0)),
+            probe_window=float(data.get("probe_window", 0.0)),
+            rollback_if=tuple(
+                Condition.from_dict(c) for c in data.get("rollback_if", ())
+            ),
+        )

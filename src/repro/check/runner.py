@@ -19,7 +19,12 @@ import io
 from dataclasses import dataclass, field
 from typing import Any, Callable, ContextManager, Iterator
 
-from ..core import AcceptAllHandler, ConsistencyThreatRejected, ConstraintViolated
+from ..core import (
+    AcceptAllHandler,
+    ConsistencyThreatRejected,
+    ConstraintViolated,
+    OperationShedded,
+)
 from ..net import DeadlineExceededError, NodeCrashedError, UnreachableError
 from ..obs import Observability
 from ..replication import WriteAccessDenied
@@ -37,6 +42,7 @@ BLOCKING_ERRORS = (
     WriteAccessDenied,
     ConsistencyThreatRejected,
     ConstraintViolated,
+    OperationShedded,
     TransactionRolledBack,
 )
 

@@ -7,7 +7,7 @@ from .ccmgr import (
     NullStalenessProvider,
     StalenessProvider,
 )
-from .errors import ConsistencyThreatRejected, ConstraintViolated
+from .errors import ConsistencyThreatRejected, ConstraintViolated, OperationShedded
 from .interceptor import CCMInterceptor
 from .metadata import (
     AffectedMethod,
@@ -90,6 +90,7 @@ __all__ = [
     "ConstraintUncheckable",
     "ConstraintValidationContext",
     "ConstraintViolated",
+    "OperationShedded",
     "ConstraintViolationReport",
     "ContextPreparation",
     "DegradedBaseline",

@@ -32,7 +32,7 @@ from ..objects import (
     push_tracker,
 )
 from ..tx import Transaction
-from .errors import ConsistencyThreatRejected, ConstraintViolated
+from .errors import ConsistencyThreatRejected, ConstraintViolated, OperationShedded
 from .metadata import ConstraintRegistration
 from .model import (
     CheckCategory,
@@ -121,6 +121,9 @@ class ConstraintConsistencyManager:
         self._m_violations = self.obs.registry.counter(
             "ccm_violations_total", "definite constraint violations"
         )
+        self._m_shed = self.obs.registry.counter(
+            "adapt_shed_ops_total", "tradeable writes refused while shedding load"
+        )
         # Set by the cluster facade; used for partition-weight exposure and
         # degraded-mode detection.
         self.gms: Any = None
@@ -135,6 +138,10 @@ class ConstraintConsistencyManager:
         # validation code may invoke entity methods through the middleware,
         # which must not trigger constraint validation again (§5.3).
         self._validating = False
+        # Graceful degradation (adaptation loop): while set, invocations
+        # affecting at least one tradeable constraint are refused up front
+        # with OperationShedded — no validation, no negotiation, no threat.
+        self.shed_tradeable_writes = False
         # Statistics for tests and benchmarks.
         self.stats: dict[str, int] = {
             "validations": 0,
@@ -169,6 +176,8 @@ class ConstraintConsistencyManager:
         tx = self._current_tx()
         class_name = invocation.ref.class_name
         method = invocation.method_name
+        if self.shed_tradeable_writes:
+            self._maybe_shed(invocation, tx)
         # Preconditions: bound to and checked before the invocation (§1.6).
         for registration in self.repository.affected_constraints(
             class_name, method, ConstraintType.PRECONDITION
@@ -409,6 +418,35 @@ class ConstraintConsistencyManager:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _maybe_shed(self, invocation: Invocation, tx: Transaction | None) -> None:
+        """Refuse the invocation when load shedding is active and any
+        affected constraint is tradeable (the op could only proceed by
+        accumulating more threat backlog — exactly what shedding stops).
+        Non-tradeable work passes through: critical constraints still
+        guard it and reads carry no affected constraints at all."""
+        class_name = invocation.ref.class_name
+        method = invocation.method_name
+        tradeable = any(
+            registration.constraint.is_tradeable()
+            for constraint_type in ConstraintType
+            for registration in self.repository.affected_constraints(
+                class_name, method, constraint_type
+            )
+        )
+        if not tradeable:
+            return
+        if self.obs.enabled:
+            self._m_shed.inc(method=f"{class_name}.{method}")
+            self.obs.emit(
+                "adapt_shed",
+                node=str(self.node.node_id),
+                ref=invocation.ref,
+                method=method,
+            )
+        if tx is not None:
+            tx.set_rollback_only(f"tradeable write {class_name}.{method} shed")
+        raise OperationShedded(class_name, method, invocation.ref)
+
     def _check_invariant(
         self,
         registration: ConstraintRegistration,

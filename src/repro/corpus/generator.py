@@ -35,6 +35,12 @@ _WEIGHT_PALETTE = (1.0, 1.0, 1.0, 2.0, 3.0)
 #: Fault-episode styles the sampler draws from.
 _EPISODE_STYLES = ("partition", "crash", "link")
 
+#: Fault-plan shapes the generator knows.  ``episodes`` is the classic
+#: disjoint-window sampler; ``oscillating`` alternates short and long
+#: partition dwells with a reconcile after every heal — the schedule that
+#: punishes hysteresis-free adaptation policies.
+FAULT_PLANS = ("episodes", "oscillating")
+
 
 @dataclass(frozen=True)
 class GeneratorConfig:
@@ -52,6 +58,9 @@ class GeneratorConfig:
     weighted_topology: bool = False
     partition_sensitive: bool = False
     burst_loss: float | None = None
+    #: One of :data:`FAULT_PLANS`; anything but the default is recorded
+    #: in ``params["fault_plan"]`` so the validator can police it.
+    fault_plan: str = "episodes"
     name: str = ""
     params: dict[str, Any] = field(default_factory=dict)
 
@@ -173,6 +182,37 @@ def _sample_fault_plan(
     return tuple(events), tuple(episodes)
 
 
+def _sample_oscillating_plan(
+    rng: random.Random,
+    node_ids: tuple[str, ...],
+    faults: int,
+    horizon: float,
+) -> tuple[tuple[tuple[float, str, tuple[Any, ...]], ...], tuple[float, ...]]:
+    """``faults`` partition cycles: short dwells with a long one every
+    third cycle, each closed by its heal and followed by a mid-run
+    reconcile (whose timestamps are returned for op insertion).
+
+    The mix is deliberately adaptation-stressing: a policy without
+    hysteresis/cooldown flaps on the short dwells, and one that never
+    degrades gracefully bleeds integrity through the long ones.
+    """
+    events: list[tuple[float, str, tuple[Any, ...]]] = []
+    reconcile_ats: list[float] = []
+    if faults > 0 and len(node_ids) >= 2:
+        window = horizon / faults
+        for cycle in range(faults):
+            window_start = cycle * window
+            start = _round(window_start + 0.1 * window)
+            long_dwell = cycle % 3 == 2
+            end = _round(start + (0.7 if long_dwell else 0.3) * window)
+            episode = _sample_partition(rng, node_ids, start, end)
+            events.extend(episode.events)
+            reconcile_ats.append(_round(end + 0.1 * window))
+    events.append((_round(horizon + 0.05), "heal_all", ()))
+    events.sort(key=lambda event: (event[0], event[1]))
+    return tuple(events), tuple(reconcile_ats)
+
+
 def _alive_nodes(
     node_ids: tuple[str, ...], episodes: Iterable[_Episode], at: float
 ) -> tuple[str, ...]:
@@ -218,10 +258,22 @@ def generate_scenario(config: GeneratorConfig, obs: Any = None) -> Scenario:
             node: rng.choice(_WEIGHT_PALETTE) for node in node_ids
         }
 
+    if config.fault_plan not in FAULT_PLANS:
+        raise KeyError(
+            f"unknown fault plan {config.fault_plan!r}; known: {sorted(FAULT_PLANS)}"
+        )
     horizon = max(config.ops, 1) * config.op_gap
-    fault_events, episodes = _sample_fault_plan(
-        rng, node_ids, config.faults, horizon
-    )
+    mid_reconciles: tuple[float, ...] = ()
+    if config.fault_plan == "oscillating":
+        params["fault_plan"] = config.fault_plan
+        episodes: tuple[_Episode, ...] = ()
+        fault_events, mid_reconciles = _sample_oscillating_plan(
+            rng, node_ids, config.faults, horizon
+        )
+    else:
+        fault_events, episodes = _sample_fault_plan(
+            rng, node_ids, config.faults, horizon
+        )
 
     ops: list[Op] = []
     at = 0.0
@@ -244,6 +296,9 @@ def generate_scenario(config: GeneratorConfig, obs: Any = None) -> Scenario:
                 args=template.sample_args(rng, params),
             )
         )
+    if mid_reconciles:
+        ops.extend(Op(at=when, kind="reconcile") for when in mid_reconciles)
+        ops.sort(key=lambda op: (op.at, op.kind, op.node, op.ref_index, op.method))
     # The terminal heal_all lands at horizon + 0.05; reconcile after it so
     # the run always ends connected and conflict-free.
     ops.append(Op(at=_round(horizon + 0.1), kind="reconcile"))

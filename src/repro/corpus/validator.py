@@ -24,6 +24,7 @@ from ..apps.registry import DOMAINS, get_domain
 from ..check.scenario import Scenario
 from ..faults.schedule import ACTIONS
 from ..obs import ensure_obs
+from .generator import FAULT_PLANS
 
 
 @dataclass(frozen=True)
@@ -196,6 +197,13 @@ def validate_scenario(scenario: Scenario, obs: Any = None) -> list[Issue]:
         _issue(issues, "unknown-node", "scenario has no nodes")
     if scenario.entities < 1:
         _issue(issues, "bad-ref", f"scenario needs >= 1 entity group, has {scenario.entities}")
+    fault_plan = str(scenario.params.get("fault_plan", "episodes"))
+    if fault_plan not in FAULT_PLANS:
+        _issue(
+            issues,
+            "unknown-fault-plan",
+            f"unknown fault plan {fault_plan!r}; known: {sorted(FAULT_PLANS)}",
+        )
     _validate_faults(scenario, issues)
     _validate_ops(scenario, issues)
     _report(scenario, issues, obs)

@@ -38,6 +38,7 @@ from ..core import (
     ConsistencyThreatRejected,
     ConstraintPriority,
     ConstraintViolated,
+    OperationShedded,
     PredicateConstraint,
     SatisfactionDegree,
 )
@@ -62,6 +63,7 @@ _BLOCKING_ERRORS = (
     WriteAccessDenied,
     ConsistencyThreatRejected,
     ConstraintViolated,
+    OperationShedded,
     TransactionRolledBack,
 )
 
@@ -471,14 +473,31 @@ class ReplayReport:
     threats_recorded: int = 0
     invariants: list[InvariantResult] = field(default_factory=list)
     reconciliation: Any = None
+    # Every reconciliation run of the replay (mid-run ops + final), with
+    # the constraint handler each one used — the benchmark layer reads
+    # integrity damage (e.g. rebooked tickets) off these.
+    reconciliations: list[Any] = field(default_factory=list)
+    constraint_handlers: list[Any] = field(default_factory=list)
     # Availability over time: one entry per bucket of the op window.
     availability_curve: list[dict[str, Any]] = field(default_factory=list)
+    # Canonical JSON lines from the adaptation engine's decision log
+    # (empty when the scenario attached no policies).
+    adaptation_trace: list[str] = field(default_factory=list)
     snapshot: dict[str, Any] = field(default_factory=dict)
     trace_jsonl: str = ""
 
     @property
     def availability(self) -> float:
         return self.served / self.attempted if self.attempted else 0.0
+
+    @property
+    def integrity_violations(self) -> int:
+        """Definite constraint violations found across all reconciliations."""
+        return sum(
+            int(getattr(recon, "violations_found", 0))
+            for recon in self.reconciliations
+            if recon is not None
+        )
 
     @property
     def all_invariants_hold(self) -> bool:
@@ -499,6 +518,7 @@ class ReplayReport:
             "availability": round(self.availability, 6),
             "errors": dict(sorted(self.errors.items())),
             "threats_recorded": self.threats_recorded,
+            "integrity_violations": self.integrity_violations,
             "invariants": [
                 {"name": result.name, "ok": result.ok, "detail": result.detail}
                 for result in self.invariants
@@ -509,8 +529,42 @@ class ReplayReport:
 
 
 def _availability_curve(
-    samples: list[tuple[float, bool]], horizon: float, buckets: int
+    samples: list[tuple[float, bool]],
+    horizon: float,
+    buckets: int,
+    bucket_width: float | None = None,
 ) -> list[dict[str, Any]]:
+    """Bucket ``(at, ok)`` samples over ``[0, horizon]``.
+
+    ``bucket_width`` (simulated seconds) takes precedence over the
+    ``buckets`` count when given, so curves from scenarios of different
+    lengths are comparable bucket for bucket.  An empty window — no
+    samples and no horizon — yields an empty curve rather than dividing
+    by zero.
+    """
+    if not samples and horizon <= 0:
+        return []
+    if bucket_width is not None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        span = max(horizon, max((at for at, _ok in samples), default=0.0))
+        span = span if span > 0 else bucket_width
+        buckets = max(1, -(-int(round(span * 10**9)) // int(round(bucket_width * 10**9))))
+        counts = [[0, 0] for _ in range(buckets)]
+        for at, ok in samples:
+            slot = min(int(at / bucket_width), buckets - 1)
+            counts[slot][0] += 1
+            if ok:
+                counts[slot][1] += 1
+        return [
+            {
+                "until": round((slot + 1) * bucket_width, 6),
+                "attempted": attempted,
+                "served": served,
+                "availability": round(served / attempted, 6) if attempted else None,
+            }
+            for slot, (attempted, served) in enumerate(counts)
+        ]
     buckets = max(1, buckets)
     span = horizon if horizon > 0 else 1.0
     counts = [[0, 0] for _ in range(buckets)]
@@ -530,7 +584,12 @@ def _availability_curve(
     ]
 
 
-def replay_scenario(scenario: Any, obs: Any = None, buckets: int = 8) -> ReplayReport:
+def replay_scenario(
+    scenario: Any,
+    obs: Any = None,
+    buckets: int = 8,
+    bucket_width: float | None = None,
+) -> ReplayReport:
     """Replay one :class:`~repro.check.scenario.Scenario` under chaos rules.
 
     The same scenario JSON the model checker explores runs here as a
@@ -551,8 +610,10 @@ def replay_scenario(scenario: Any, obs: Any = None, buckets: int = 8) -> ReplayR
         report.attempted += 1
         try:
             if op.kind == "reconcile":
-                cluster.reconcile(
-                    constraint_handler=scenario.reconcile_handler(cluster)
+                mid_handler = scenario.reconcile_handler(cluster)
+                report.constraint_handlers.append(mid_handler)
+                report.reconciliations.append(
+                    cluster.reconcile(constraint_handler=mid_handler)
                 )
             else:
                 cluster.invoke(
@@ -583,8 +644,11 @@ def replay_scenario(scenario: Any, obs: Any = None, buckets: int = 8) -> ReplayR
     }
     report.threats_recorded = len(pre_identities)
     cluster.heal()
-    recon = cluster.reconcile(constraint_handler=scenario.reconcile_handler(cluster))
+    final_handler = scenario.reconcile_handler(cluster)
+    report.constraint_handlers.append(final_handler)
+    recon = cluster.reconcile(constraint_handler=final_handler)
     report.reconciliation = recon
+    report.reconciliations.append(recon)
 
     report.invariants = [
         check_replicas_converge(cluster, refs),
@@ -592,7 +656,9 @@ def replay_scenario(scenario: Any, obs: Any = None, buckets: int = 8) -> ReplayR
         check_cluster_healthy_again(cluster, recon),
     ]
     horizon = max((op.at for op in scenario.ops), default=0.0)
-    report.availability_curve = _availability_curve(samples, horizon, buckets)
+    report.availability_curve = _availability_curve(
+        samples, horizon, buckets, bucket_width=bucket_width
+    )
 
     obs.emit(
         "corpus_replay",
@@ -607,6 +673,8 @@ def replay_scenario(scenario: Any, obs: Any = None, buckets: int = 8) -> ReplayR
         "corpus_replay_ops_total", "workload ops replayed from corpus scenarios"
     ).inc(report.attempted, domain=scenario.domain)
 
+    if cluster.adaptation is not None:
+        report.adaptation_trace = cluster.adaptation.trace_lines()
     report.snapshot = cluster.snapshot()
     stream = io.StringIO()
     cluster.export_trace(stream)

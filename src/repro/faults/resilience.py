@@ -233,10 +233,14 @@ class ResilienceInterceptor(Interceptor):
             "resilience_deadline_exceeded_total", "invocations abandoned at their deadline"
         )
         self._m_breaker = self.obs.registry.counter(
-            "resilience_breaker_transitions_total", "circuit state changes, by target state"
+            "resilience_breaker_transitions_total",
+            "circuit state changes, by target state and transition",
         )
         self._m_fast_fail = self.obs.registry.counter(
             "resilience_breaker_fast_fails_total", "calls refused by an open circuit"
+        )
+        self._g_open = self.obs.registry.gauge(
+            "resilience_breaker_open", "circuits currently open, per client node"
         )
 
     # ------------------------------------------------------------------
@@ -354,11 +358,20 @@ class ResilienceInterceptor(Interceptor):
                 deadline=invocation.deadline,
             )
 
+    def open_circuits(self) -> int:
+        """How many of this node's circuits are currently OPEN."""
+        return sum(
+            1 for breaker in self._breakers.values() if breaker.state is BreakerState.OPEN
+        )
+
     def _on_breaker_transition(
         self, breaker: CircuitBreaker, old: BreakerState, new: BreakerState
     ) -> None:
         if self.obs.enabled:
-            self._m_breaker.inc(state=new.value)
+            self._m_breaker.inc(
+                state=new.value, transition=f"{old.value}->{new.value}"
+            )
+            self._g_open.set(self.open_circuits(), node=str(self.node.node_id))
             self.obs.emit(
                 "breaker_transition",
                 node=str(self.node.node_id),

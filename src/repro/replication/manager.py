@@ -118,6 +118,10 @@ class ReplicationManager:
         )
         self._replicas: dict[ObjectRef, ReplicaInfo] = {}
         self._replicated_classes: set[str] = set()
+        # Runtime per-class protocol overrides (adaptation actuator): a
+        # class listed here routes through its own protocol instead of the
+        # cluster-wide default.
+        self._protocol_overrides: dict[str, ReplicationProtocol] = {}
         self.epoch = 0
         self._update_records: list[UpdateRecord] = []
         self.conflicts_detected: list[ReplicaConflict] = []
@@ -143,6 +147,62 @@ class ReplicationManager:
         if ref not in self._replicas:
             raise ObjectNotFound(ref)
         return self._replicas[ref]
+
+    def refs_of_class(self, class_name: str) -> list[ObjectRef]:
+        """All replicated refs of one entity class, in stable order."""
+        return sorted(
+            (ref for ref in self._replicas if ref.class_name == class_name),
+            key=str,
+        )
+
+    # ------------------------------------------------------------------
+    # runtime protocol control (adaptation actuator)
+    # ------------------------------------------------------------------
+    def protocol_for(self, ref: ObjectRef) -> ReplicationProtocol:
+        """The protocol routing ``ref``: its class override, else the
+        cluster-wide default."""
+        return self._protocol_overrides.get(ref.class_name, self.protocol)
+
+    def set_class_protocol(
+        self, class_name: str, protocol: ReplicationProtocol | None
+    ) -> ReplicationProtocol | None:
+        """Install (or with ``None`` drop) a per-class protocol override.
+
+        The override gets the manager's promotion hook so temporary-primary
+        promotions stay observable.  Returns the previous override (``None``
+        when the class was on the default), so callers can undo.
+        """
+        previous = self._protocol_overrides.get(class_name)
+        if protocol is None:
+            self._protocol_overrides.pop(class_name, None)
+        else:
+            protocol.promotion_hook = (
+                lambda temporary, _name=protocol.name: self._note_promotion(
+                    temporary, _name
+                )
+            )
+            self._protocol_overrides[class_name] = protocol
+        return previous
+
+    def rehome_primary(self, ref: ObjectRef, new_primary: NodeId) -> NodeId:
+        """Move ``ref``'s designated primary to ``new_primary``.
+
+        The target must already hold a replica; placement itself does not
+        change.  Returns the previous designated primary, so callers can
+        undo.
+        """
+        info = self.info(ref)
+        if new_primary not in info.replica_nodes:
+            raise ValueError(
+                f"{new_primary!r} holds no replica of {ref} "
+                f"(replicas: {list(info.replica_nodes)})"
+            )
+        self._replicas[ref] = ReplicaInfo(
+            ref=ref,
+            designated_primary=new_primary,
+            replica_nodes=info.replica_nodes,
+        )
+        return info.designated_primary
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -206,7 +266,7 @@ class ReplicationManager:
         """The node that must execute a write issued from ``caller``."""
         info = self.info(ref)
         partition = self.network.partition_of(caller)
-        target = self.protocol.write_node(
+        target = self.protocol_for(ref).write_node(
             info.designated_primary, info.replica_nodes, partition
         )
         if target is None:
@@ -316,7 +376,7 @@ class ReplicationManager:
         node = entity.container.node.node_id
         info = self._replicas[ref]
         partition = self.network.partition_of(node)
-        return self.protocol.is_possibly_stale(
+        return self.protocol_for(ref).is_possibly_stale(
             info.designated_primary, info.replica_nodes, partition
         )
 
@@ -503,15 +563,16 @@ class ReplicationManager:
     def pending_update_records(self) -> list[UpdateRecord]:
         return list(self._update_records)
 
-    def _note_promotion(self, temporary: NodeId) -> None:
+    def _note_promotion(self, temporary: NodeId, protocol_name: str | None = None) -> None:
         """Protocol callback: a temporary primary replaced the designated
         one (the P4 promotion of §4.3)."""
         if self.obs.enabled:
-            self._m_promotions.inc(protocol=self.protocol.name)
+            name = protocol_name if protocol_name is not None else self.protocol.name
+            self._m_promotions.inc(protocol=name)
             self.obs.emit(
                 "primary_promotion",
                 node=str(temporary),
-                protocol=self.protocol.name,
+                protocol=name,
             )
 
     def _is_degraded(self, partition: frozenset[NodeId]) -> bool:

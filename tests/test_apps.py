@@ -281,6 +281,7 @@ class TestGeneratedWorkloads:
             "threat_accounting",
             "replica_convergence",
             "no_cross_partition_delivery",
+            "adaptation_guardrails",
         }
         result = run_schedule(self._partitioned(domain, seed), registry=registry)
         assert result.ok, result.violations

@@ -167,3 +167,57 @@ class TestResilienceEffect:
             attempted += base.attempted
         assert resilient_served > baseline_served
         assert resilient_served / attempted > baseline_served / attempted
+
+
+class TestAvailabilityCurve:
+    """Bucketing edge cases for the replay availability series."""
+
+    def _curve(self, *args, **kwargs):
+        from repro.faults.chaos import _availability_curve
+
+        return _availability_curve(*args, **kwargs)
+
+    def test_empty_window_yields_no_buckets(self):
+        assert self._curve([], horizon=0.0, buckets=8) == []
+        assert self._curve([], horizon=-1.0, buckets=4) == []
+
+    def test_empty_samples_with_horizon_have_null_availability(self):
+        curve = self._curve([], horizon=2.0, buckets=4)
+        assert len(curve) == 4
+        for bucket in curve:
+            assert bucket["attempted"] == 0
+            assert bucket["availability"] is None  # no division by zero
+
+    def test_explicit_bucket_width(self):
+        samples = [(0.1, True), (0.4, True), (0.6, False), (1.4, True)]
+        curve = self._curve(samples, horizon=1.5, buckets=8, bucket_width=0.5)
+        assert [bucket["until"] for bucket in curve] == [0.5, 1.0, 1.5]
+        assert [bucket["attempted"] for bucket in curve] == [2, 1, 1]
+        assert curve[0]["availability"] == 1.0
+        assert curve[1]["availability"] == 0.0
+
+    def test_bucket_width_extends_past_horizon_samples(self):
+        # A sample beyond the nominal horizon still lands in a bucket.
+        curve = self._curve([(2.2, True)], horizon=1.0, buckets=4, bucket_width=0.5)
+        assert curve[-1]["until"] == pytest.approx(2.5)
+        assert curve[-1]["attempted"] == 1
+
+    def test_bucket_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self._curve([(0.1, True)], horizon=1.0, buckets=4, bucket_width=0.0)
+        with pytest.raises(ValueError):
+            self._curve([(0.1, True)], horizon=1.0, buckets=4, bucket_width=-0.5)
+
+    def test_replay_threads_bucket_width_through(self):
+        from repro.check import single_partition_scenario
+        from repro.faults.chaos import replay_scenario
+
+        report = replay_scenario(single_partition_scenario(), bucket_width=0.25)
+        assert report.availability_curve
+        widths = {
+            round(second["until"] - first["until"], 6)
+            for first, second in zip(
+                report.availability_curve, report.availability_curve[1:]
+            )
+        }
+        assert widths == {0.25}

@@ -76,6 +76,29 @@ class TestRetryPolicy:
         with pytest.raises(ValueError):
             RetryPolicy().delay_for(0, random.Random(0))
 
+    def test_jitter_sequence_deterministic_over_shared_rng(self):
+        """One seeded rng drawn across a whole retry ladder replays exactly.
+
+        This is the shape the interceptor actually uses: a single rng
+        consumed by consecutive attempts — not a fresh rng per call — so
+        same-seed runs must produce the same delay *sequence*.
+        """
+        policy = RetryPolicy(base_delay=0.05, jitter=0.3, max_delay=5.0)
+
+        def ladder(seed):
+            rng = random.Random(seed)
+            return [policy.delay_for(attempt, rng) for attempt in range(1, 7)]
+
+        assert ladder(42) == ladder(42)
+        assert ladder(42) != ladder(43)
+
+    def test_zero_jitter_consumes_no_randomness(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.0)
+        rng = random.Random(5)
+        before = rng.getstate()
+        policy.delay_for(3, rng)
+        assert rng.getstate() == before
+
 
 class TestBreakerConfig:
     def test_validation(self):
@@ -136,6 +159,66 @@ class TestCircuitBreaker:
         breaker.record_failure()
         assert breaker.state is BreakerState.OPEN
         assert breaker.retry_at == pytest.approx(4.0)
+
+    def test_half_open_admits_at_most_configured_concurrent_probes(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            clock,
+            BreakerConfig(failure_threshold=1, reset_timeout=2.0, half_open_probes=2),
+            destination="x",
+        )
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        assert breaker.allow()  # second concurrent probe admitted
+        assert not breaker.allow()  # third refused while both outstanding
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_race_failure_wins_over_outstanding_probe(self):
+        """Two probes in flight: the failing one re-opens the circuit, and
+        the straggler's success must not flip it closed again."""
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            clock,
+            BreakerConfig(failure_threshold=3, reset_timeout=2.0, half_open_probes=2),
+            destination="x",
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow() and breaker.allow()
+        breaker.record_failure()  # probe A fails → OPEN again
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.retry_at == pytest.approx(4.0)
+        breaker.record_success()  # probe B straggles in
+        assert breaker.state is BreakerState.OPEN
+        # The late success reset the consecutive-failure count but did not
+        # close the circuit; the reset timeout still gates re-entry.
+        assert not breaker.allow()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_reopened_circuit_clears_outstanding_probe_budget(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            clock,
+            BreakerConfig(failure_threshold=1, reset_timeout=1.0, half_open_probes=1),
+            destination="x",
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # half-open probe fails → OPEN
+        clock.advance(1.0)
+        # The fresh half-open window admits a probe again: the previous
+        # window's outstanding count did not leak.
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
 
     def test_transition_callback(self):
         transitions = []
