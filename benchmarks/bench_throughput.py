@@ -1,0 +1,211 @@
+"""Throughput engine benchmark — compiled dispatch × batched propagation.
+
+Six configurations run the same flight-booking write workload on one
+cluster topology: every repository lookup strategy ({linear, cached,
+compiled}) crossed with the write-propagation mode ({per-write,
+batched}).  Each op is one business transaction issued from a rotating
+client node that sells a ticket on two different flights — two
+replicated writes per transaction, so batching has something to
+coalesce.
+
+The headline metric is **simulated ops/sec**: transactions over elapsed
+simulated seconds.  Simulated time is a pure deterministic function of
+the charged cost model, so the committed figures are reproducible
+bit-for-bit on any machine — unlike wall-clock throughput.
+
+* the *cached* repository replaces 60 µs linear searches with 0.4 µs
+  hash lookups (§2.3.2);
+* the *compiled* repository collapses the 5–7 per-type queries of one
+  intercepted invocation into single dispatch-table hits;
+* *batched* propagation ships one ``replica-update-batch`` multicast
+  round per transaction instead of one full synchronous round per write
+  (§4.3 — the dominant win: one round trip saved per extra write).
+
+Results land in ``benchmarks/results/BENCH_throughput.json`` (a copy is
+committed at the repo root).  Set ``BENCH_QUICK=1`` for the CI budget;
+set ``BENCH_PROFILE=1`` to additionally cProfile the fastest and
+slowest configurations and print the top wall-clock hot spots.
+"""
+
+import cProfile
+import io
+import json
+import os
+import pstats
+
+from conftest import RESULTS_DIR, print_table
+from repro.apps.flightbooking import Flight, ticket_constraint_registration
+from repro.cluster import ClusterConfig, DedisysCluster
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+PROFILE = bool(os.environ.get("BENCH_PROFILE"))
+
+#: (nodes, entities, clients, ops) grid.  Quick mode keeps the small
+#: matrix point; the full run adds a larger cluster.
+SIZES = [(3, 6, 2, 48)] if QUICK else [(3, 6, 2, 48), (5, 12, 4, 96)]
+
+REPOSITORIES = ("linear", "cached", "compiled")
+PROPAGATION = ("per-write", "batched")
+
+
+def _build_cluster(nodes: int, repository: str, batched: bool) -> DedisysCluster:
+    config = ClusterConfig(
+        node_ids=tuple(f"node-{i + 1}" for i in range(nodes)),
+        repository=repository,
+        batch_updates=batched,
+    )
+    cluster = DedisysCluster(config)
+    cluster.deploy(Flight)
+    cluster.register_constraint(ticket_constraint_registration())
+    return cluster
+
+
+def _run_workload(nodes: int, entities: int, clients: int, ops: int,
+                  repository: str, batched: bool) -> dict:
+    """Run the write workload; return deterministic throughput figures."""
+    cluster = _build_cluster(nodes, repository, batched)
+    node_ids = list(cluster.config.node_ids)
+    refs = [
+        cluster.create_entity(
+            # Consecutive flight pairs share a designated primary: one
+            # transaction updates both, so its update multicasts originate
+            # from one node — the case batching coalesces into one round.
+            node_ids[(i // 2) % nodes],
+            "Flight",
+            f"f{i}",
+            # Capacity sized so the hard invariant never trips: each op
+            # sells one ticket on each of two flights.
+            {"flight_number": f"OS{i:03d}", "seats": 4 * ops, "sold": 0},
+        )
+        for i in range(entities)
+    ]
+    pairs = entities // 2
+    start = cluster.network.scheduler.clock.now
+    for op in range(ops):
+        client = node_ids[op % clients]
+        pair = op % pairs
+        first = refs[2 * pair]
+        second = refs[2 * pair + 1]
+
+        def body(proxy, first=first, second=second):
+            proxy.invoke(first, "sell_tickets", 1)
+            proxy.invoke(second, "sell_tickets", 1)
+
+        cluster.run_in_tx(client, body)
+    elapsed = cluster.network.scheduler.clock.now - start
+    # Every write must have reached every backup: the coalesced batch is
+    # flushed at commit, so backups converge exactly like per-write.
+    expected = {ref: 0 for ref in refs}
+    for op in range(ops):
+        pair = op % pairs
+        expected[refs[2 * pair]] += 1
+        expected[refs[2 * pair + 1]] += 1
+    for ref, sold in expected.items():
+        for node_id in node_ids:
+            assert cluster.entity_on(node_id, ref).state()["sold"] == sold
+    return {
+        "ops": ops,
+        "sim_elapsed_seconds": round(elapsed, 9),
+        "ops_per_second": round(ops / elapsed, 6),
+        "per_op_seconds": round(elapsed / ops, 9),
+    }
+
+
+def _profile(nodes: int, entities: int, clients: int, ops: int,
+             repository: str, batched: bool, top: int = 12) -> None:
+    """cProfile one configuration and print its wall-clock hot spots."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run_workload(nodes, entities, clients, ops, repository, batched)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    mode = "batched" if batched else "per-write"
+    print(f"\n== profile: {repository} × {mode} "
+          f"(N={nodes} M={entities} K={clients} ops={ops}) ==")
+    print(buffer.getvalue())
+
+
+def test_compiled_batched_dominates(benchmark):
+    def workload():
+        results = {}
+        for nodes, entities, clients, ops in SIZES:
+            grid = {}
+            for repository in REPOSITORIES:
+                for propagation in PROPAGATION:
+                    grid[f"{repository}+{propagation}"] = _run_workload(
+                        nodes, entities, clients, ops,
+                        repository, propagation == "batched",
+                    )
+            results[f"N{nodes}_M{entities}_K{clients}"] = {
+                "nodes": nodes,
+                "entities": entities,
+                "clients": clients,
+                "configs": grid,
+            }
+        return results
+
+    results = benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    rows = []
+    for size_key, size in results.items():
+        for config, entry in size["configs"].items():
+            rows.append(
+                [
+                    size_key,
+                    config,
+                    entry["ops"],
+                    f"{entry['sim_elapsed_seconds']:.4f}",
+                    f"{entry['ops_per_second']:.2f}",
+                ]
+            )
+    print_table(
+        f"throughput engine — simulated ops/sec, quick={QUICK}",
+        ["size", "config", "ops", "sim-elapsed", "ops/sec"],
+        rows,
+    )
+
+    for size_key, size in results.items():
+        configs = size["configs"]
+
+        def rate(name):
+            return configs[name]["ops_per_second"]
+
+        # The headline claim: both optimizations together beat the seed
+        # default (cached repository, per-write propagation).
+        assert rate("compiled+batched") > rate("cached+per-write"), size_key
+        # Each axis improves independently on every configuration.
+        for propagation in PROPAGATION:
+            assert rate(f"cached+{propagation}") > rate(f"linear+{propagation}")
+            assert rate(f"compiled+{propagation}") > rate(f"cached+{propagation}")
+        for repository in REPOSITORIES:
+            assert rate(f"{repository}+batched") > rate(f"{repository}+per-write")
+
+    if PROFILE:
+        nodes, entities, clients, ops = SIZES[0]
+        _profile(nodes, entities, clients, ops, "cached", False)
+        _profile(nodes, entities, clients, ops, "compiled", True)
+
+    payload = {
+        "quick": QUICK,
+        "workload": {
+            "app": "flight_booking",
+            "op": "one transaction selling one ticket on each of two flights "
+            "(two replicated writes), clients round-robin",
+            "sizes": [
+                {"nodes": n, "entities": m, "clients": k, "ops": ops}
+                for n, m, k, ops in SIZES
+            ],
+        },
+        "metric": "simulated ops/sec = transactions / elapsed simulated seconds "
+        "(deterministic: a pure function of the charged cost model)",
+        "results": results,
+        "claim": "the compiled dispatch table and batched write propagation "
+        "each improve simulated throughput on every benchmarked "
+        "configuration, and combined they beat the seed default "
+        "(cached repository, per-write propagation) everywhere",
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_throughput.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -25,6 +25,7 @@ from .core import (
     CCMConfig,
     CCMInterceptor,
     CachingConstraintRepository,
+    CompiledConstraintRepository,
     ConstraintConsistencyManager,
     ConstraintRegistration,
     ConstraintRepository,
@@ -94,6 +95,13 @@ class ClusterConfig:
     threat_policy: ThreatStoragePolicy = ThreatStoragePolicy.IDENTICAL_ONCE
     # Use the optimized (caching) constraint repository by default.
     caching_repository: bool = True
+    # Repository lookup strategy: "linear", "cached", or "compiled"
+    # (the throughput-engine dispatch table).  ``None`` derives the kind
+    # from ``caching_repository`` for backwards compatibility.
+    repository: str | None = None
+    # Batch write propagation: coalesce the replica-update multicasts of
+    # one transaction into a single batched round with per-entry acks.
+    batch_updates: bool = False
     default_min_degree: SatisfactionDegree = SatisfactionDegree.SATISFIED
     node_weights: Mapping[NodeId, float] | None = None
     replicate_threats: bool = True
@@ -143,13 +151,22 @@ class DedisysCluster:
             node = Node(node_id, self.clock, self.config.costs, self.ledger, self.txmgr)
             self.nodes[node_id] = node
 
-        repository_cls = (
-            CachingConstraintRepository if self.config.caching_repository else ConstraintRepository
-        )
         # One application-wide repository (constraint names are unique per
         # application, §5.3); threat stores are per node and replicated.
         charge = next(iter(self.nodes.values())).persistence.charge
-        self.repository: ConstraintRepository = repository_cls(charge=charge)
+        kind = self.config.repository
+        if kind is None:
+            kind = "cached" if self.config.caching_repository else "linear"
+        if kind == "compiled":
+            self.repository: ConstraintRepository = CompiledConstraintRepository(
+                charge=charge, obs=self.obs
+            )
+        elif kind == "cached":
+            self.repository = CachingConstraintRepository(charge=charge)
+        elif kind == "linear":
+            self.repository = ConstraintRepository(charge=charge)
+        else:
+            raise ValueError(f"unknown repository kind {kind!r}")
 
         self.replication: ReplicationManager | None = None
         if self.config.enable_replication:
@@ -161,6 +178,7 @@ class DedisysCluster:
                 self.channel,
                 protocol,
                 join_channel=False,
+                batch_updates=self.config.batch_updates,
             )
             if self.config.resilience is not None:
                 self.replication.configure_resilience(

@@ -51,7 +51,12 @@ from .reconciliation import (
     ReconciliationManager,
     ReconciliationReport,
 )
-from .repository import CachingConstraintRepository, ConstraintRepository
+from .repository import (
+    CachingConstraintRepository,
+    CompiledConstraintRepository,
+    ConstraintRepository,
+    MethodDispatch,
+)
 from .system_mode import ModeChange, SystemMode, SystemModeTracker
 from .uml_constraints import (
     cardinality_constraint,
@@ -73,6 +78,7 @@ __all__ = [
     "CCMConfig",
     "CCMInterceptor",
     "CachingConstraintRepository",
+    "CompiledConstraintRepository",
     "CalledObjectIsContextObject",
     "CallbackNegotiationHandler",
     "CheckCategory",
@@ -85,6 +91,7 @@ __all__ = [
     "ConstraintReconciliationHandler",
     "ConstraintRegistration",
     "ConstraintRepository",
+    "MethodDispatch",
     "ConstraintScope",
     "ConstraintType",
     "ConstraintUncheckable",

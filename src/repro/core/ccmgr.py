@@ -44,7 +44,7 @@ from .model import (
     ValidationOutcome,
 )
 from .negotiation import NegotiationResult, Negotiator
-from .repository import ConstraintRepository
+from .repository import ConstraintRepository, MethodDispatch
 from .threats import ConsistencyThreat, ThreatStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -176,20 +176,40 @@ class ConstraintConsistencyManager:
         tx = self._current_tx()
         class_name = invocation.ref.class_name
         method = invocation.method_name
+        # A compiled repository answers all constraint types with one
+        # dispatch lookup; the other repository kinds keep their historical
+        # per-type queries (and per-query charges).
+        dispatch = self.repository.method_dispatch(class_name, method)
         if self.shed_tradeable_writes:
-            self._maybe_shed(invocation, tx)
+            self._maybe_shed(invocation, tx, dispatch)
         # Preconditions: bound to and checked before the invocation (§1.6).
-        for registration in self.repository.affected_constraints(
-            class_name, method, ConstraintType.PRECONDITION
-        ):
-            ctx = self._method_context(invocation, entity)
-            outcome = self._validate(registration, ctx, entity)
-            self._handle_outcome(registration, outcome, ctx, tx)
-        # Postconditions get their @pre snapshot now (§4.2.1).
+        # They share one validation context — none of them snapshots @pre
+        # state — so it is built once per invocation, not per registration.
+        pre_registrations = (
+            dispatch.preconditions
+            if dispatch is not None
+            else self.repository.affected_constraints(
+                class_name, method, ConstraintType.PRECONDITION
+            )
+        )
+        pre_ctx: ConstraintValidationContext | None = None
+        for registration in pre_registrations:
+            if pre_ctx is None:
+                pre_ctx = self._method_context(invocation, entity)
+            outcome = self._validate(registration, pre_ctx, entity)
+            self._handle_outcome(registration, outcome, pre_ctx, tx)
+        # Postconditions get their @pre snapshot now (§4.2.1); the snapshot
+        # lands in the context's scratch space, so these contexts stay
+        # per-registration.
         post_contexts: list[tuple[ConstraintRegistration, ConstraintValidationContext]] = []
-        for registration in self.repository.affected_constraints(
-            class_name, method, ConstraintType.POSTCONDITION
-        ):
+        post_registrations = (
+            dispatch.postconditions
+            if dispatch is not None
+            else self.repository.affected_constraints(
+                class_name, method, ConstraintType.POSTCONDITION
+            )
+        )
+        for registration in post_registrations:
             ctx = self._method_context(invocation, entity)
             registration.constraint.before_method_invocation(ctx)
             post_contexts.append((registration, ctx))
@@ -202,26 +222,42 @@ class ConstraintConsistencyManager:
         tx = self._current_tx()
         class_name = invocation.ref.class_name
         method = invocation.method_name
+        dispatch = self.repository.method_dispatch(class_name, method)
         # Postconditions: checked after the invocation with its result.
         for registration, ctx in invocation.metadata.get("ccm_post_contexts", ()):
             ctx.method_result = invocation.result
             outcome = self._validate(registration, ctx, entity)
             self._handle_outcome(registration, outcome, ctx, tx)
         # Hard invariants: checked at the end of the operation (§1.6).
-        for registration in self.repository.affected_constraints(
-            class_name, method, ConstraintType.INVARIANT_HARD
-        ):
+        hard_registrations = (
+            dispatch.hard_invariants
+            if dispatch is not None
+            else self.repository.affected_constraints(
+                class_name, method, ConstraintType.INVARIANT_HARD
+            )
+        )
+        for registration in hard_registrations:
             self._check_invariant(registration, invocation, entity, tx)
         # Soft invariants: deferred to the end of the transaction [JQ92].
-        for registration in self.repository.affected_constraints(
-            class_name, method, ConstraintType.INVARIANT_SOFT
-        ):
+        soft_registrations = (
+            dispatch.soft_invariants
+            if dispatch is not None
+            else self.repository.affected_constraints(
+                class_name, method, ConstraintType.INVARIANT_SOFT
+            )
+        )
+        for registration in soft_registrations:
             self._defer(tx, _SOFT_PENDING_KEY, registration, invocation, entity)
         # Asynchronous invariants (§5.5.3): soft in a healthy system; in
         # degraded mode the threat is stored directly without validation.
-        for registration in self.repository.affected_constraints(
-            class_name, method, ConstraintType.INVARIANT_ASYNC
-        ):
+        async_registrations = (
+            dispatch.async_invariants
+            if dispatch is not None
+            else self.repository.affected_constraints(
+                class_name, method, ConstraintType.INVARIANT_ASYNC
+            )
+        )
+        for registration in async_registrations:
             if self.is_degraded() and self.config.async_skip_validation_in_degraded:
                 context_entity = self._prepare_context(registration, invocation, entity)
                 self._store_async_threat(registration, context_entity)
@@ -418,7 +454,12 @@ class ConstraintConsistencyManager:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _maybe_shed(self, invocation: Invocation, tx: Transaction | None) -> None:
+    def _maybe_shed(
+        self,
+        invocation: Invocation,
+        tx: Transaction | None,
+        dispatch: "MethodDispatch | None" = None,
+    ) -> None:
         """Refuse the invocation when load shedding is active and any
         affected constraint is tradeable (the op could only proceed by
         accumulating more threat backlog — exactly what shedding stops).
@@ -426,13 +467,16 @@ class ConstraintConsistencyManager:
         guard it and reads carry no affected constraints at all."""
         class_name = invocation.ref.class_name
         method = invocation.method_name
-        tradeable = any(
-            registration.constraint.is_tradeable()
-            for constraint_type in ConstraintType
-            for registration in self.repository.affected_constraints(
-                class_name, method, constraint_type
+        if dispatch is not None:
+            tradeable = dispatch.any_tradeable()
+        else:
+            tradeable = any(
+                registration.constraint.is_tradeable()
+                for constraint_type in ConstraintType
+                for registration in self.repository.affected_constraints(
+                    class_name, method, constraint_type
+                )
             )
-        )
         if not tradeable:
             return
         if self.obs.enabled:

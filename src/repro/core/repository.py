@@ -5,8 +5,8 @@ class, method signature, and constraint type.  Constraints can be added,
 removed, enabled and disabled during runtime — the flexibility that
 motivates explicit runtime constraints in the first place.
 
-Two lookup strategies reproduce the Chapter-2 finding that repository
-search dominates interception cost:
+Three lookup strategies reproduce (and extend) the Chapter-2 finding that
+repository search dominates interception cost:
 
 * :class:`ConstraintRepository` — linear scan per query ("constraint
   repository with search per invocation").
@@ -14,16 +14,101 @@ search dominates interception cost:
   query results in a hash table keyed by (class, method, constraint type);
   a repeat query reduces to a single dict lookup (§2.2.1), measured at
   0.25–0.52 µs in the paper and size-independent.
+* :class:`CompiledConstraintRepository` — the throughput-engine variant: a
+  dispatch table precomputed on every registration change (via the §6.3
+  ``on_change`` hook) groups each method's registrations by constraint
+  type, so the consistency manager's 5–6 per-invocation queries collapse
+  into one :meth:`~ConstraintRepository.method_dispatch` lookup.
+
+All three stay runtime-mutable: constraints can be added, removed, enabled
+and disabled at any time, and ``enabled``/tradeability are honoured at
+query time so even direct toggles on the :class:`Constraint` object are
+picked up immediately.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
+from ..obs import ensure_obs
 from .model import Constraint, ConstraintType
 from .metadata import AffectedMethod, ConstraintRegistration
 
 ChargeFn = Callable[[str], None]
+
+
+class MethodDispatch:
+    """Compiled dispatch entry for one ``(class_name, method_name)``.
+
+    Registrations are grouped by :class:`ConstraintType` at table-build
+    time; ``enabled`` is evaluated at access time so a constraint toggled
+    directly on the :class:`Constraint` object (bypassing the repository's
+    ``enable``/``disable``) is still honoured without a rebuild.
+    """
+
+    __slots__ = ("key", "_by_type", "_all")
+
+    def __init__(
+        self,
+        key: tuple[str, str],
+        by_type: dict[ConstraintType, tuple[ConstraintRegistration, ...]],
+        all_registrations: tuple[ConstraintRegistration, ...],
+    ) -> None:
+        self.key = key
+        self._by_type = by_type
+        self._all = all_registrations
+
+    def registrations(
+        self, constraint_type: ConstraintType | None = None
+    ) -> tuple[ConstraintRegistration, ...]:
+        """The enabled registrations of one type (all types for ``None``)."""
+        entries = self._all if constraint_type is None else self._by_type.get(
+            constraint_type, ()
+        )
+        return tuple(
+            registration
+            for registration in entries
+            if registration.constraint.enabled
+        )
+
+    @property
+    def preconditions(self) -> tuple[ConstraintRegistration, ...]:
+        return self.registrations(ConstraintType.PRECONDITION)
+
+    @property
+    def postconditions(self) -> tuple[ConstraintRegistration, ...]:
+        return self.registrations(ConstraintType.POSTCONDITION)
+
+    @property
+    def hard_invariants(self) -> tuple[ConstraintRegistration, ...]:
+        return self.registrations(ConstraintType.INVARIANT_HARD)
+
+    @property
+    def soft_invariants(self) -> tuple[ConstraintRegistration, ...]:
+        return self.registrations(ConstraintType.INVARIANT_SOFT)
+
+    @property
+    def async_invariants(self) -> tuple[ConstraintRegistration, ...]:
+        return self.registrations(ConstraintType.INVARIANT_ASYNC)
+
+    def any_tradeable(self) -> bool:
+        """Whether any enabled affected constraint is currently tradeable.
+
+        Tradeability is adaptation-mutable (the actuator flips priorities
+        at runtime), so it is evaluated live rather than precomputed.
+        """
+        return any(
+            registration.constraint.is_tradeable()
+            for registration in self._all
+            if registration.constraint.enabled
+        )
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+
+#: Shared entry for methods without any registered constraint.
+_EMPTY_DISPATCH = MethodDispatch(("", ""), {}, ())
 
 
 class ConstraintRepository:
@@ -111,6 +196,16 @@ class ConstraintRepository:
             self._charge("repository_search")
         return self._search(class_name, method_name, constraint_type)
 
+    def method_dispatch(self, class_name: str, method_name: str) -> MethodDispatch | None:
+        """Compiled per-method dispatch entry, or ``None`` when this
+        repository kind answers queries per constraint type instead.
+
+        The consistency manager probes this once per notification; a
+        non-``None`` result replaces its 5–6 ``affected_constraints``
+        queries with the precomputed grouping.
+        """
+        return None
+
     def invariants(self) -> list[ConstraintRegistration]:
         """All enabled invariant constraints (reconciliation uses these)."""
         return [
@@ -128,11 +223,12 @@ class ConstraintRepository:
         class_name: str,
         method_name: str,
         constraint_type: ConstraintType | None,
+        only_enabled: bool = True,
     ) -> list[ConstraintRegistration]:
         matches = []
         for registration in self._registrations:
             constraint = registration.constraint
-            if not constraint.enabled:
+            if only_enabled and not constraint.enabled:
                 continue
             if constraint_type is not None and constraint.constraint_type is not constraint_type:
                 continue
@@ -152,8 +248,11 @@ class CachingConstraintRepository(ConstraintRepository):
     """Optimized repository: query results cached in a hash table.
 
     The cache key combines class, method, and constraint type (§2.2.1).
-    Registration changes invalidate the cache, so runtime add/remove/
-    enable/disable keep working correctly.
+    Registration changes invalidate the cache.  Cached lists hold every
+    *matching* registration regardless of its enabled state; ``enabled``
+    is re-checked per query, so a constraint toggled directly on the
+    :class:`Constraint` object (bypassing ``enable``/``disable`` and hence
+    the invalidation hook) never yields stale results.
     """
 
     def __init__(self, charge: ChargeFn | None = None) -> None:
@@ -170,15 +269,20 @@ class CachingConstraintRepository(ConstraintRepository):
     ) -> list[ConstraintRegistration]:
         key = (class_name, method_name, constraint_type)
         cached = self._cache.get(key)
-        if cached is not None:
+        if cached is None:
             if self._charge is not None:
-                self._charge("repository_lookup_cached")
-            return list(cached)
-        if self._charge is not None:
-            self._charge("repository_search")
-        result = self._search(class_name, method_name, constraint_type)
-        self._cache[key] = result
-        return list(result)
+                self._charge("repository_search")
+            cached = self._search(
+                class_name, method_name, constraint_type, only_enabled=False
+            )
+            self._cache[key] = cached
+        elif self._charge is not None:
+            self._charge("repository_lookup_cached")
+        return [
+            registration
+            for registration in cached
+            if registration.constraint.enabled
+        ]
 
     def _invalidate(self) -> None:
         self._cache.clear()
@@ -187,3 +291,105 @@ class CachingConstraintRepository(ConstraintRepository):
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+
+class CompiledConstraintRepository(ConstraintRepository):
+    """Throughput-engine repository: one precomputed dispatch table.
+
+    On every registration change (the same §6.3 ``on_change`` trigger the
+    adaptive instrumentation uses) the table is marked dirty and rebuilt
+    lazily on the next lookup: per ``(class_name, method_name)`` one
+    :class:`MethodDispatch` grouping the affected registrations by
+    constraint type.  A per-invocation lookup is then a single dict access
+    (charged as ``repository_dispatch``), independent of both repository
+    size and the number of constraint types queried.
+
+    The compiled table stays a drop-in component behind the same repository
+    interface — ``affected_constraints`` is answered from the table, and
+    runtime ``register``/``remove``/``enable``/``disable`` work unchanged.
+    """
+
+    def __init__(self, charge: ChargeFn | None = None, obs: Any = None) -> None:
+        super().__init__(charge)
+        self.obs = ensure_obs(obs)
+        self._m_rebuilds = self.obs.registry.counter(
+            "repository_dispatch_rebuilds_total",
+            "compiled constraint dispatch-table rebuilds",
+        )
+        self._table: dict[tuple[str, str], MethodDispatch] | None = None
+        self.rebuilds = 0
+
+    def method_dispatch(self, class_name: str, method_name: str) -> MethodDispatch:
+        if self._charge is not None:
+            self._charge("repository_dispatch")
+        table = self._table
+        if table is None:
+            table = self._rebuild()
+        return table.get((class_name, method_name), _EMPTY_DISPATCH)
+
+    def affected_constraints(
+        self,
+        class_name: str,
+        method_name: str,
+        constraint_type: ConstraintType | None = None,
+    ) -> list[ConstraintRegistration]:
+        if self._charge is not None:
+            self._charge("repository_dispatch")
+        table = self._table
+        if table is None:
+            table = self._rebuild()
+        entry = table.get((class_name, method_name))
+        if entry is None:
+            return []
+        return list(entry.registrations(constraint_type))
+
+    def _invalidate(self) -> None:
+        self._table = None
+        super()._invalidate()
+
+    @property
+    def compiled_methods(self) -> int:
+        """Number of compiled method entries (builds the table if dirty)."""
+        table = self._table if self._table is not None else self._rebuild()
+        return len(table)
+
+    def _rebuild(self) -> dict[tuple[str, str], MethodDispatch]:
+        grouped: dict[
+            tuple[str, str], dict[ConstraintType, list[ConstraintRegistration]]
+        ] = {}
+        ordered: dict[tuple[str, str], list[ConstraintRegistration]] = {}
+        for registration in self._registrations:
+            constraint_type = registration.constraint.constraint_type
+            seen: set[tuple[str, str]] = set()
+            for affected in registration.affected_methods:
+                key = affected.key
+                if key in seen:
+                    # A registration listing the same method twice still
+                    # triggers once, matching the linear search.
+                    continue
+                seen.add(key)
+                grouped.setdefault(key, {}).setdefault(constraint_type, []).append(
+                    registration
+                )
+                ordered.setdefault(key, []).append(registration)
+        table = {
+            key: MethodDispatch(
+                key,
+                {
+                    constraint_type: tuple(registrations)
+                    for constraint_type, registrations in by_type.items()
+                },
+                tuple(ordered[key]),
+            )
+            for key, by_type in grouped.items()
+        }
+        self._table = table
+        self.rebuilds += 1
+        if self.obs.enabled:
+            self._m_rebuilds.inc()
+            self.obs.emit(
+                "repository_dispatch",
+                methods=len(table),
+                registrations=len(self._registrations),
+            )
+        return table

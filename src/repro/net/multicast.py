@@ -59,6 +59,18 @@ class GroupChannel:
         partitions.  The cost charged is ``multicast_base`` plus
         ``multicast_per_node`` per recipient, doubled when waiting for the
         synchronous confirmations the P4 protocol requires.
+
+        Cost accounting is intentionally *up front and atomic*: the Spread
+        analogue reserves the whole synchronous round when the message is
+        handed to the toolkit, so a delivery handler raising (e.g.
+        :class:`NodeCrashedError` for a recipient that crashed mid-round)
+        does not refund the remaining deliveries — earlier recipients have
+        already applied the message and the round's time has been spent.
+
+        The recipient set is snapshotted before delivery; a handler that
+        makes a later recipient ``leave()`` mid-round simply causes that
+        departed member to be skipped (it neither receives the message nor
+        appears in the returned replies).
         """
         if self.network.is_crashed(source):
             raise NodeCrashedError(source)
@@ -89,6 +101,11 @@ class GroupChannel:
             )
         replies: dict[NodeId, Any] = {}
         for node in recipients:
+            # Re-check membership per delivery: a handler earlier in the
+            # round may have made this member leave() the group.
+            handler = self._handlers.get(node)
+            if handler is None:
+                continue
             message = Message(source, node, kind, payload)
-            replies[node] = self._handlers[node](message)
+            replies[node] = handler(message)
         return replies

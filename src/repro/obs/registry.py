@@ -25,8 +25,10 @@ TRACE_EVENTS: dict[str, str] = {
     "invocation": "an intercepted method invocation completed, with outcome",
     "validation": "one constraint validation, with satisfaction degree",
     "threat": "a consistency threat was recorded, accepted, or resolved",
+    "repository_dispatch": "the compiled constraint dispatch table was rebuilt",
     # replication service
     "replication_update": "a primary-to-backup update round (create/state/delete)",
+    "replication_batch": "a batched write-propagation round shipped coalesced updates",
     "replication_conflict": "a write-write replica conflict was detected",
     "primary_promotion": "a temporary primary was promoted in a partition",
     # membership
@@ -77,8 +79,11 @@ METRICS: dict[str, str] = {
     "ccm_validations_total": "constraint validations, by degree and category",
     "ccm_threats_total": "consistency threats, by action taken",
     "ccm_violations_total": "definite constraint violations",
+    "repository_dispatch_rebuilds_total": "compiled constraint dispatch-table rebuilds",
     # replication
     "repl_updates_total": "primary-to-backup update rounds, by kind",
+    "repl_update_batches_total": "batched write-propagation rounds shipped",
+    "repl_batched_updates_total": "entity updates coalesced into batched rounds",
     "repl_primary_promotions_total": "temporary-primary promotions (designated primary unreachable)",
     "repl_conflicts_total": "write-write replica conflicts detected",
     "repl_redirect_retries_total": "primary-redirect sends retried",

@@ -207,6 +207,59 @@ class TestGroupChannel:
         with pytest.raises(KeyError):
             channel.join("zzz", lambda msg: None)
 
+    def test_handler_leaving_later_recipient_skips_it(self, network):
+        # Regression: a delivery handler making a *later* recipient leave
+        # the group mid-round must not blow up the delivery loop; the
+        # departed member is skipped and absent from the replies.
+        channel = GroupChannel(network)
+        delivered = []
+        channel.join("a", lambda msg: "ack")
+
+        def evict_d(msg):
+            delivered.append("b")
+            channel.leave("d")
+            return "ack"
+
+        channel.join("b", evict_d)
+        channel.join("c", lambda msg: delivered.append("c") or "ack")
+        channel.join("d", lambda msg: delivered.append("d") or "ack")
+        replies = channel.multicast("a", "update")
+        assert delivered == ["b", "c"]
+        assert set(replies) == {"b", "c"}
+        assert channel.members == ("a", "b", "c")
+
+    def test_handler_leaving_itself_still_replies(self, network):
+        channel = GroupChannel(network)
+        channel.join("a", lambda msg: "ack")
+
+        def leave_self(msg):
+            channel.leave("b")
+            return "bye"
+
+        channel.join("b", leave_self)
+        channel.join("c", lambda msg: "ack")
+        replies = channel.multicast("a", "update")
+        assert replies == {"b": "bye", "c": "ack"}
+
+    def test_crash_mid_round_keeps_full_charge(self, network):
+        # The round's cost is reserved up front (the Spread analogue hands
+        # the whole synchronous round to the toolkit), so a handler raising
+        # NodeCrashedError partway does not refund undelivered recipients.
+        channel = GroupChannel(network)
+        channel.join("a", lambda msg: "ack")
+        channel.join("b", lambda msg: "ack")
+
+        def crashed(msg):
+            raise NodeCrashedError("c")
+
+        channel.join("c", crashed)
+        channel.join("d", lambda msg: "ack")
+        before = network.scheduler.clock.now
+        with pytest.raises(NodeCrashedError):
+            channel.multicast("a", "update")
+        expected = 2 * (network.costs.multicast_base + 3 * network.costs.multicast_per_node)
+        assert network.scheduler.clock.now == pytest.approx(before + expected)
+
 
 @given(
     groups=st.lists(

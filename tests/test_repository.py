@@ -1,10 +1,11 @@
-"""Tests for the constraint repository (plain and caching)."""
+"""Tests for the constraint repository (plain, caching, and compiled)."""
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core import (
     CachingConstraintRepository,
+    CompiledConstraintRepository,
     ConstraintRepository,
     ConstraintType,
     PredicateConstraint,
@@ -17,7 +18,13 @@ def make_registration(name, cls="Flight", method="sell", ctype=ConstraintType.IN
     return ConstraintRegistration(constraint, (AffectedMethod(cls, method),))
 
 
-@pytest.fixture(params=[ConstraintRepository, CachingConstraintRepository])
+@pytest.fixture(
+    params=[
+        ConstraintRepository,
+        CachingConstraintRepository,
+        CompiledConstraintRepository,
+    ]
+)
 def repository(request):
     return request.param()
 
@@ -169,6 +176,31 @@ class TestCachingBehaviour:
         repository.affected_constraints("Flight", "sell")
         assert charges == ["repository_search", "repository_search"]
 
+    def test_direct_enabled_toggle_not_served_stale(self):
+        # Regression: flipping ``constraint.enabled`` on the Constraint
+        # object directly bypasses enable()/disable() and therefore the
+        # cache-invalidation hook.  A cached (pre-toggle) query result
+        # must not resurrect the disabled constraint.
+        repository = CachingConstraintRepository()
+        registration = make_registration("c1")
+        repository.register(registration)
+        assert len(repository.affected_constraints("Flight", "sell")) == 1
+        registration.constraint.enabled = False
+        assert repository.affected_constraints("Flight", "sell") == []
+        registration.constraint.enabled = True
+        assert len(repository.affected_constraints("Flight", "sell")) == 1
+
+    def test_direct_enabled_toggle_with_type_key(self):
+        repository = CachingConstraintRepository()
+        registration = make_registration("c1", ctype=ConstraintType.PRECONDITION)
+        repository.register(registration)
+        query = lambda: repository.affected_constraints(
+            "Flight", "sell", ConstraintType.PRECONDITION
+        )
+        assert len(query()) == 1
+        registration.constraint.enabled = False
+        assert query() == []
+
 
 @given(
     names=st.lists(
@@ -177,15 +209,18 @@ class TestCachingBehaviour:
     queries=st.lists(st.sampled_from(["m1", "m2", "m3"]), max_size=10),
 )
 def test_caching_repository_equivalent_to_plain(names, queries):
-    """Property: the optimized repository returns exactly what the plain
+    """Property: the optimized repositories return exactly what the plain
     one does for any registration set and query sequence."""
     plain = ConstraintRepository()
     caching = CachingConstraintRepository()
+    compiled = CompiledConstraintRepository()
     for index, name in enumerate(names):
         method = f"m{(index % 3) + 1}"
         plain.register(make_registration(name, method=method))
         caching.register(make_registration(name, method=method))
+        compiled.register(make_registration(name, method=method))
     for method in queries:
         plain_names = [m.name for m in plain.affected_constraints("Flight", method)]
         caching_names = [m.name for m in caching.affected_constraints("Flight", method)]
-        assert plain_names == caching_names
+        compiled_names = [m.name for m in compiled.affected_constraints("Flight", method)]
+        assert plain_names == caching_names == compiled_names
