@@ -1,0 +1,198 @@
+"""Transport benchmark — wall-clock throughput on the real backends.
+
+Every other benchmark in this directory reports *simulated* ops/sec: a
+deterministic function of the charged cost model.  This one measures
+what the simulator cannot — actual wall-clock throughput of the same
+middleware stack on the real substrates:
+
+* **asyncio** (in-process): K client threads issue ticket sales against
+  the full replicated stack; ops/sec is real elapsed time, including
+  executor handoffs, mailbox hops, and transaction-guard contention;
+* **process** (multi-OS-process): the 3-process flight-booking cluster
+  from ``repro.transport.proccluster``, measured healthy (writes
+  forwarded to the designated primary) and degraded (primary SIGKILLed,
+  temporary primary accepting threats).
+
+Wall-clock figures vary by machine — the committed
+``BENCH_transport.json`` records one reference environment, and the
+assertions only check invariants (convergence, no lost acks) plus a
+very conservative throughput floor.  Set ``BENCH_QUICK=1`` for the CI
+budget.
+"""
+
+import json
+import os
+import signal
+import threading
+
+from conftest import RESULTS_DIR, print_table
+from repro.apps.flightbooking import Flight, ticket_constraint_registration
+from repro.cluster import ClusterConfig, DedisysCluster
+from repro.transport.proccluster import ProcessCluster
+from repro.transport.wallclock import read_perf_counter
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+#: (clients, ops per client) for the in-process asyncio workload.
+ASYNC_SIZES = [(4, 25)] if QUICK else [(2, 50), (4, 50), (8, 50)]
+
+#: (healthy ops, degraded ops) for the multi-process workload.
+PROC_OPS = (40, 20) if QUICK else (150, 60)
+
+#: Conservative floor: any working backend on any machine clears this.
+MIN_OPS_PER_SECOND = 5.0
+
+
+def _run_asyncio_workload(clients: int, ops_each: int) -> dict:
+    nodes = ("a", "b", "c")
+    cluster = DedisysCluster(ClusterConfig(node_ids=nodes, transport="asyncio"))
+    try:
+        cluster.deploy(Flight)
+        cluster.register_constraint(ticket_constraint_registration())
+        ref = cluster.create_entity(
+            "a",
+            "Flight",
+            "BENCH",
+            {"flight_number": "BENCH", "seats": clients * ops_each + 1, "sold": 0},
+        )
+        barrier = threading.Barrier(clients + 1)
+
+        def client(index: int) -> None:
+            caller = nodes[index % len(nodes)]
+            barrier.wait()
+            for _ in range(ops_each):
+                cluster.invoke(caller, ref, "sell_tickets", 1)
+
+        threads = [
+            threading.Thread(target=client, args=(index,)) for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = read_perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = read_perf_counter() - started
+        total = clients * ops_each
+        for node in nodes:
+            assert cluster.entity_on(node, ref).get_sold() == total
+        return {
+            "clients": clients,
+            "ops": total,
+            "wall_elapsed_seconds": round(elapsed, 6),
+            "ops_per_second": round(total / elapsed, 2),
+        }
+    finally:
+        cluster.close()
+
+
+def _run_process_workload(healthy_ops: int, degraded_ops: int) -> dict:
+    key = "Flight|BENCH"
+    with ProcessCluster(("a", "b", "c"), primary="a") as cluster:
+        seats = healthy_ops + degraded_ops + 1
+        cluster.create(
+            "a", "Flight", "BENCH", {"flight_number": "BENCH", "seats": seats, "sold": 0}
+        )
+        started = read_perf_counter()
+        for op in range(healthy_ops):
+            reply = cluster.invoke("bc"[op % 2], "Flight", "BENCH", "sell_tickets", 1)
+            assert reply["ok"], reply
+        healthy_elapsed = read_perf_counter() - started
+
+        cluster.kill("a", signal.SIGKILL)
+        started = read_perf_counter()
+        for op in range(degraded_ops):
+            reply = cluster.invoke("bc"[op % 2], "Flight", "BENCH", "sell_tickets", 1)
+            assert reply["ok"], reply
+        degraded_elapsed = read_perf_counter() - started
+
+        cluster.restart("a")
+        started = read_perf_counter()
+        report = cluster.reconcile(additive={key: {"sold": healthy_ops}})
+        reconcile_elapsed = read_perf_counter() - started
+        states = cluster.states("Flight", "BENCH")
+        assert all(
+            state is not None and state["sold"] == healthy_ops + degraded_ops
+            for state in states.values()
+        ), states
+        return {
+            "healthy": {
+                "ops": healthy_ops,
+                "wall_elapsed_seconds": round(healthy_elapsed, 6),
+                "ops_per_second": round(healthy_ops / healthy_elapsed, 2),
+            },
+            "degraded": {
+                "ops": degraded_ops,
+                "wall_elapsed_seconds": round(degraded_elapsed, 6),
+                "ops_per_second": round(degraded_ops / degraded_elapsed, 2),
+            },
+            "reconcile_seconds": round(reconcile_elapsed, 6),
+            "threats_reevaluated": report["threats_reevaluated"],
+        }
+
+
+def test_transport_wall_clock_throughput(benchmark):
+    def workload():
+        return {
+            "asyncio": {
+                f"K{clients}": _run_asyncio_workload(clients, ops_each)
+                for clients, ops_each in ASYNC_SIZES
+            },
+            "process": _run_process_workload(*PROC_OPS),
+        }
+
+    results = benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"asyncio K{entry['clients']}",
+            entry["ops"],
+            f"{entry['wall_elapsed_seconds']:.3f}",
+            f"{entry['ops_per_second']:.0f}",
+        ]
+        for entry in results["asyncio"].values()
+    ]
+    for phase in ("healthy", "degraded"):
+        entry = results["process"][phase]
+        rows.append(
+            [
+                f"process {phase}",
+                entry["ops"],
+                f"{entry['wall_elapsed_seconds']:.3f}",
+                f"{entry['ops_per_second']:.0f}",
+            ]
+        )
+    print_table(
+        f"transport backends — wall-clock ops/sec, quick={QUICK}",
+        ["workload", "ops", "wall-elapsed", "ops/sec"],
+        rows,
+    )
+
+    for entry in results["asyncio"].values():
+        assert entry["ops_per_second"] > MIN_OPS_PER_SECOND
+    for phase in ("healthy", "degraded"):
+        assert results["process"][phase]["ops_per_second"] > MIN_OPS_PER_SECOND
+
+    payload = {
+        "quick": QUICK,
+        "workload": {
+            "app": "flight_booking",
+            "asyncio": "K client threads selling one ticket per op against a "
+            "3-node in-process cluster (full replication + CCM stack)",
+            "process": "sequential frame requests against 3 OS processes: "
+            "healthy (forwarded to primary), degraded (primary "
+            "SIGKILLed, temp primary accepting threats), then one "
+            "driver-coordinated reconciliation",
+        },
+        "metric": "wall-clock ops/sec = committed transactions / elapsed real "
+        "seconds (machine-dependent; committed figures are one "
+        "reference environment)",
+        "results": results,
+        "claim": "the identical middleware stack runs on real concurrency "
+        "substrates; degraded-mode availability survives kill -9 of "
+        "the primary process at wall-clock rates comparable to "
+        "healthy mode",
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_transport.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -12,8 +12,17 @@ Importing this package registers every rule family with the engine:
   affected methods exist, tradeable constraints declare a minimum
   satisfaction degree, ``validate`` only touches declared context state.
 * ``PRB0xx`` — invariant probe purity (side-effect-free cluster reads).
+* ``TRN0xx`` — transport clock boundary (machine-clock reads confined to
+  ``repro.sim`` and ``repro.transport``).
 """
 
-from . import constraints, determinism, messages, probes, registry_drift
+from . import constraints, determinism, messages, probes, registry_drift, transport
 
-__all__ = ["constraints", "determinism", "messages", "probes", "registry_drift"]
+__all__ = [
+    "constraints",
+    "determinism",
+    "messages",
+    "probes",
+    "registry_drift",
+    "transport",
+]

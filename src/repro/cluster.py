@@ -64,7 +64,8 @@ from .replication import (
     ReplicationServerInterceptor,
     TransportInterceptor,
 )
-from .sim import CostLedger, CostModel, Scheduler, SimClock
+from .sim import CostLedger, CostModel
+from .transport import Transport, build_transport
 from .tx import TransactionManager
 
 
@@ -117,6 +118,11 @@ class ClusterConfig:
     # Optional fault injector installed on the simulated network (per-link
     # burst loss, delay, duplication, kind filters).
     fault_injector: FaultInjector | None = None
+    # Execution substrate: ``"sim"`` (deterministic discrete-event
+    # simulator, the default), ``"asyncio"`` (in-process wall-clock
+    # backend: node mailboxes on an event loop, real timers, real
+    # concurrency), or a ready :class:`~repro.transport.Transport`.
+    transport: "str | Transport" = "sim"
 
 
 class DedisysCluster:
@@ -124,24 +130,28 @@ class DedisysCluster:
 
     def __init__(self, config: ClusterConfig | None = None) -> None:
         self.config = config if config is not None else ClusterConfig()
-        self.clock = SimClock()
-        self.scheduler = Scheduler(self.clock)
-        self.ledger = CostLedger()
         self.obs = ensure_obs(self.config.obs)
-        self.obs.bind_clock(self.clock)
-        self.network = SimNetwork(
+        # The transport bundles clock + scheduler + network + channel; the
+        # sim backend builds them exactly as this constructor historically
+        # did, so default traces stay byte-identical.
+        self.transport = build_transport(
+            self.config.transport,
             self.config.node_ids,
-            scheduler=self.scheduler,
             costs=self.config.costs,
             seed=self.config.seed,
             obs=self.obs,
         )
+        self.clock = self.transport.clock
+        self.scheduler = self.transport.scheduler
+        self.ledger = CostLedger()
+        self.obs.bind_clock(self.clock)
+        self.network = self.transport.network
         self.network.ledger = self.ledger
         if self.config.fault_injector is not None:
             self.network.install_fault_injector(self.config.fault_injector)
         self.gms = GroupMembershipService(self.network, self.config.node_weights)
         self.mode_tracker = SystemModeTracker(self.gms, self.clock)
-        self.channel = GroupChannel(self.network)
+        self.channel = self.transport.make_channel()
         self.txmgr = TransactionManager(obs=self.obs)
         self.naming = NamingService()
         self.location = LocationService()
@@ -383,7 +393,8 @@ class DedisysCluster:
                 self.replication.register_created(entity.ref, node_id, entity.state())
             return entity.ref
 
-        ref = self.txmgr.run(body)
+        with self.transport.tx_guard():
+            ref = self.txmgr.run(body)
         if bind_name:
             self.naming.bind(bind_name, ref)
         return ref
@@ -405,7 +416,8 @@ class DedisysCluster:
                 self.nodes[home].container.remove(ref)
             self.location.unregister(ref)
 
-        self.txmgr.run(body)
+        with self.transport.tx_guard():
+            self.txmgr.run(body)
 
     def invoke(
         self,
@@ -424,7 +436,8 @@ class DedisysCluster:
                 register_negotiation_handler(tx, negotiation_handler)
             return node.invocation_service.invoke(ref, method_name, tuple(args))
 
-        return self.txmgr.run(body)
+        with self.transport.tx_guard():
+            return self.txmgr.run(body)
 
     def run_in_tx(
         self,
@@ -444,7 +457,8 @@ class DedisysCluster:
                 register_negotiation_handler(tx, negotiation_handler)
             return body(_TxProxy(node, tx))
 
-        return self.txmgr.run(wrapped)
+        with self.transport.tx_guard():
+            return self.txmgr.run(wrapped)
 
     def entity_on(self, node_id: NodeId, ref: ObjectRef) -> Entity:
         """Direct access to a node's local replica (test introspection)."""
@@ -514,6 +528,14 @@ class DedisysCluster:
         """Reconcile every merged partition group that changed since the
         last run; the returned report aggregates the per-group reports
         (kept in ``report.groups``)."""
+        with self.transport.tx_guard():
+            return self._reconcile_locked(replica_handler, constraint_handler)
+
+    def _reconcile_locked(
+        self,
+        replica_handler: Any = None,
+        constraint_handler: Any = None,
+    ) -> ReconciliationReport:
         partitions = self.network.partitions()
         fallback = partitions[0] if partitions else frozenset()
         due = self.reconciliation.due_groups()
@@ -542,6 +564,28 @@ class DedisysCluster:
 
     def is_degraded(self) -> bool:
         return not self.network.is_healthy()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release transport resources (threads, mailboxes, timers).
+
+        A no-op on the sim backend; required on real backends, where the
+        transport owns an event loop and a timer thread.  Clusters are
+        also context managers: ``with DedisysCluster(cfg) as cluster: ...``.
+        """
+        if self.adaptation is not None:
+            stop = getattr(self.adaptation, "stop", None)
+            if callable(stop):
+                stop()
+        self.transport.close()
+
+    def __enter__(self) -> "DedisysCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # invariant probes (side-effect free; used by repro.check)

@@ -17,6 +17,7 @@ from .messages import (
 )
 from .multicast import GroupChannel
 from .network import SimNetwork
+from .topology import Topology
 
 __all__ = [
     "DeadlineExceededError",
@@ -33,5 +34,6 @@ __all__ = [
     "THREAT_REPLICATE",
     "THREAT_RESOLVED",
     "THREAT_SYNC",
+    "Topology",
     "UnreachableError",
 ]

@@ -7,17 +7,22 @@ crashing nodes.  Partitions are *derived* from the link state as connected
 components, mirroring the dissertation's view that node and link failures
 cannot be distinguished when they occur (§1.1): a crashed node simply
 appears as a singleton partition to everyone else.
+
+The failure-model bookkeeping itself lives in the substrate-independent
+:class:`~repro.net.topology.Topology` base, shared with the wall-clock
+asyncio backend (``repro.transport``).  What this subclass adds is the
+*deterministic* delivery semantics: messages are delivered synchronously,
+charging simulated latency on the injected scheduler's clock.
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-from ..obs import ensure_obs
 from ..sim import CostLedger, CostModel, Scheduler
 from .messages import Message, NodeCrashedError, NodeId, UnreachableError
+from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
@@ -32,7 +37,7 @@ def payload_size(payload: Any) -> int:
     return len(repr(payload))
 
 
-class SimNetwork:
+class SimNetwork(Topology):
     """The message substrate shared by all simulated nodes."""
 
     def __init__(
@@ -44,29 +49,17 @@ class SimNetwork:
         seed: int = 0,
         obs: Any = None,
     ) -> None:
-        if len(set(nodes)) != len(nodes):
-            raise ValueError("duplicate node ids")
-        if not nodes:
-            raise ValueError("network needs at least one node")
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss probability must be in [0, 1)")
-        self.nodes: tuple[NodeId, ...] = tuple(nodes)
+        super().__init__(nodes, obs=obs)
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.costs = costs if costs is not None else CostModel()
         self.ledger = CostLedger()
         self.loss_probability = loss_probability
         self._rng = random.Random(seed)
-        self._failed_links: set[frozenset[NodeId]] = set()
-        self._crashed: set[NodeId] = set()
         self._handlers: dict[NodeId, Callable[[Message], Any]] = {}
         self._delivered: list[Message] = []
-        self._topology_listeners: list[Callable[[], None]] = []
-        # Bumped on every effective failure/heal event.  Invariant probes
-        # compare it across a step to know whether reachability *now* still
-        # describes reachability at delivery time.
-        self.topology_version = 0
         self.injector: "FaultInjector | None" = None
-        self.obs = ensure_obs(obs)
         self._m_sent = self.obs.registry.counter(
             "net_messages_sent_total", "point-to-point messages delivered, by kind"
         )
@@ -78,161 +71,18 @@ class SimNetwork:
         )
 
     # ------------------------------------------------------------------
-    # topology control
+    # handlers / fault injection
     # ------------------------------------------------------------------
     def register_handler(self, node: NodeId, handler: Callable[[Message], Any]) -> None:
         """Register the message handler for ``node``."""
         self._require_node(node)
         self._handlers[node] = handler
 
-    def on_topology_change(self, listener: Callable[[], None]) -> None:
-        """Register a callback fired after any failure/heal event.
-
-        The group membership service subscribes here to recompute views.
-        """
-        self._topology_listeners.append(listener)
-
     def install_fault_injector(self, injector: "FaultInjector") -> "FaultInjector":
         """Attach a fault injector consulted on every point-to-point send."""
         injector.bind_obs(self.obs)
         self.injector = injector
         return injector
-
-    def fail_link(self, a: NodeId, b: NodeId) -> None:
-        """Fail the bidirectional link between ``a`` and ``b``.
-
-        A no-op (no listener notification) when the link already failed.
-        """
-        self._require_node(a)
-        self._require_node(b)
-        if a == b:
-            raise ValueError("a node has no link to itself")
-        link = frozenset((a, b))
-        if link in self._failed_links:
-            return
-        self._failed_links.add(link)
-        self._notify_topology()
-
-    def heal_link(self, a: NodeId, b: NodeId) -> None:
-        """Repair the link between ``a`` and ``b``.
-
-        A redundant heal of a healthy link changes nothing and therefore
-        notifies nobody — no spurious GMS view recomputations.
-        """
-        link = frozenset((a, b))
-        if link not in self._failed_links:
-            return
-        self._failed_links.discard(link)
-        self._notify_topology()
-
-    def partition(self, *groups: Iterable[NodeId]) -> None:
-        """Split the network into the given groups.
-
-        Every link between nodes of different groups fails; links within a
-        group are healed.  Nodes not mentioned form an implicit final group.
-        """
-        assigned: dict[NodeId, int] = {}
-        for index, group in enumerate(groups):
-            for node in group:
-                self._require_node(node)
-                if node in assigned:
-                    raise ValueError(f"node {node} listed in two groups")
-                assigned[node] = index
-        remainder_index = len(groups)
-        for node in self.nodes:
-            assigned.setdefault(node, remainder_index)
-        new_failed = {
-            frozenset((a, b))
-            for i, a in enumerate(self.nodes)
-            for b in self.nodes[i + 1 :]
-            if assigned[a] != assigned[b]
-        }
-        if new_failed == self._failed_links:
-            return
-        self._failed_links = new_failed
-        self._notify_topology()
-
-    def heal_all(self) -> None:
-        """Repair every link and recover every crashed node.
-
-        Notifies listeners only when there was something to repair.
-        """
-        if not self._failed_links and not self._crashed:
-            return
-        self._failed_links.clear()
-        self._crashed.clear()
-        self._notify_topology()
-
-    def crash_node(self, node: NodeId) -> None:
-        """Crash ``node`` (pause-crash: state survives, §1.1)."""
-        self._require_node(node)
-        if node in self._crashed:
-            return
-        self._crashed.add(node)
-        self._notify_topology()
-
-    def recover_node(self, node: NodeId) -> None:
-        """Recover a previously crashed node (no-op when not crashed)."""
-        if node not in self._crashed:
-            return
-        self._crashed.discard(node)
-        self._notify_topology()
-
-    def is_crashed(self, node: NodeId) -> bool:
-        return node in self._crashed
-
-    # ------------------------------------------------------------------
-    # reachability / partitions
-    # ------------------------------------------------------------------
-    def link_up(self, a: NodeId, b: NodeId) -> bool:
-        """Whether the direct link between two live nodes is usable."""
-        if a in self._crashed or b in self._crashed:
-            return False
-        return frozenset((a, b)) not in self._failed_links
-
-    def reachable(self, source: NodeId, destination: NodeId) -> bool:
-        """Whether ``destination`` can be reached from ``source``.
-
-        Routing goes through intermediate live nodes, so reachability is
-        graph connectivity over the healthy links.
-        """
-        self._require_node(source)
-        self._require_node(destination)
-        if source in self._crashed or destination in self._crashed:
-            return False
-        if source == destination:
-            return True
-        return destination in self._component_of(source)
-
-    def partitions(self) -> list[frozenset[NodeId]]:
-        """Connected components of live nodes, largest first.
-
-        Crashed nodes are excluded entirely — from the outside they are
-        indistinguishable from singleton partitions, but they execute
-        nothing until recovered.
-        """
-        remaining = [n for n in self.nodes if n not in self._crashed]
-        seen: set[NodeId] = set()
-        components: list[frozenset[NodeId]] = []
-        for node in remaining:
-            if node in seen:
-                continue
-            component = self._component_of(node)
-            seen |= component
-            components.append(frozenset(component))
-        components.sort(key=lambda c: (-len(c), sorted(c)))
-        return components
-
-    def partition_of(self, node: NodeId) -> frozenset[NodeId]:
-        """The set of live nodes in ``node``'s partition."""
-        self._require_node(node)
-        if node in self._crashed:
-            return frozenset()
-        return frozenset(self._component_of(node))
-
-    def is_healthy(self) -> bool:
-        """True when no failures are present (one partition, no crashes)."""
-        return not self._crashed and len(self.partitions()) == 1
 
     # ------------------------------------------------------------------
     # messaging
@@ -310,23 +160,6 @@ class SimNetwork:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _component_of(self, start: NodeId) -> set[NodeId]:
-        component = {start}
-        frontier = deque([start])
-        while frontier:
-            current = frontier.popleft()
-            for other in self.nodes:
-                if other in component or other in self._crashed:
-                    continue
-                if self.link_up(current, other):
-                    component.add(other)
-                    frontier.append(other)
-        return component
-
-    def _require_node(self, node: NodeId) -> None:
-        if node not in self.nodes:
-            raise KeyError(f"unknown node {node!r}")
-
     def _drop(self, source: NodeId, destination: NodeId, kind: str, reason: str) -> None:
         if self.obs.enabled:
             self._m_dropped.inc(reason=reason)
@@ -337,15 +170,3 @@ class SimNetwork:
                 kind=kind,
                 reason=reason,
             )
-
-    def _notify_topology(self) -> None:
-        self.topology_version += 1
-        if self.obs.enabled:
-            self.obs.emit(
-                "topology_change",
-                partitions=[sorted(p) for p in self.partitions()],
-                crashed=sorted(self._crashed),
-                failed_links=sorted(sorted(link) for link in self._failed_links),
-            )
-        for listener in self._topology_listeners:
-            listener()

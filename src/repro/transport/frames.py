@@ -1,0 +1,127 @@
+"""Length-prefixed JSON framing for the multi-process transport.
+
+Wire format: a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  The same codec serves three roles:
+
+* the driver (:mod:`repro.transport.proccluster`) talking to workers,
+* workers (:mod:`repro.transport.procnode`) talking to their peers for
+  replica-update propagation and liveness pings,
+* tests speaking to a live worker directly.
+
+Synchronous helpers operate on plain blocking sockets (client side);
+asyncio helpers operate on stream reader/writer pairs (worker server
+side).  Both enforce :data:`MAX_FRAME` so a corrupt or hostile length
+header cannot trigger an unbounded allocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame body; a full worker state dump of the
+#: demo workloads is a few kilobytes, so 16 MiB is generous headroom.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class FrameError(RuntimeError):
+    """Malformed frame on the wire (bad length, bad JSON, overflow)."""
+
+
+class FrameClosed(FrameError):
+    """Peer closed the connection mid-frame."""
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict[str, Any]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME:
+        raise FrameError(f"announced frame of {length} bytes exceeds MAX_FRAME")
+
+
+# ----------------------------------------------------------------------
+# synchronous (blocking socket) side
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise FrameClosed(f"connection closed with {remaining} bytes outstanding")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> dict[str, Any]:
+    (length,) = HEADER.unpack(_recv_exact(sock, HEADER.size))
+    _check_length(length)
+    return decode_body(_recv_exact(sock, length))
+
+
+def write_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def request(
+    host: str,
+    port: int,
+    payload: dict[str, Any],
+    timeout: float = 2.0,
+) -> dict[str, Any]:
+    """One-shot request/response exchange with a frame server.
+
+    Opens a connection, sends one frame, reads one frame back, closes.
+    Raises ``OSError`` (refused/reset/timeout) when the peer is down —
+    callers translate that into unreachability.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        write_frame(sock, payload)
+        return read_frame(sock)
+
+
+# ----------------------------------------------------------------------
+# asyncio (worker server) side
+# ----------------------------------------------------------------------
+async def async_read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF before a header starts."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameClosed("connection closed mid-header") from exc
+    (length,) = HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameClosed("connection closed mid-body") from exc
+    return decode_body(body)
+
+
+async def async_write_frame(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()

@@ -1,0 +1,459 @@
+"""One DeDiSys node as an OS process speaking frames over local TCP.
+
+``python -m repro.transport.procnode --node b --port 7001 \
+    --peers a=127.0.0.1:7000,c=127.0.0.1:7002 --primary a``
+
+Each worker hosts a *single-node* :class:`~repro.cluster.DedisysCluster`
+— the real CCMgr, threat store, negotiator, and transaction manager, not
+a re-implementation — and bridges it to its peers with the frame
+protocol from :mod:`repro.transport.frames`:
+
+* the first node in sorted order (or ``--primary``) is the designated
+  primary; other workers forward writes to it (P4, §4.1);
+* when the primary is unreachable the receiving worker becomes the
+  **temporary primary**: its staleness provider starts answering "this
+  replica is possibly stale", so the CCMgr degrades tradeable
+  constraints to POSSIBLY_SATISFIED and persists accepted writes as
+  consistency threats (§3.1) — exactly the sim/asyncio degradation path;
+* committed writes propagate best-effort as ``replica-update`` frames;
+  an unreachable peer simply misses updates until reconciliation;
+* the driver (:mod:`repro.transport.proccluster`) reconciles by
+  ``state-dump`` → merge → ``state-apply`` → ``revalidate``; the
+  revalidation step re-checks every pending threat on merged state with
+  the worker's own CCMgr and applies the rebooking clean-up handler to
+  genuine violations.
+
+Concurrency: frames arrive on an asyncio server, but all middleware
+work runs on two single-width executors — ``ops`` for client-facing
+writes, ``repl`` for peer replica traffic — with a mutex around cluster
+access that is *never held across a network call*.  That keeps the
+single-node cluster effectively single-threaded while letting a
+forwarded write and the resulting inbound replica-update coexist
+without deadlock.  ``ping``/``status`` answer directly on the loop so
+liveness stays responsive mid-transaction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from types import SimpleNamespace
+from typing import Any
+
+from ..apps.flightbooking import Flight, RebookingReconciliationHandler, ticket_constraint_registration
+from ..cluster import ClusterConfig, DedisysCluster
+from ..core import ConsistencyThreatRejected, ConstraintViolated
+from ..objects import ObjectRef
+from . import frames
+
+#: Entity classes a worker can host, by wire name.
+ENTITY_CLASSES = {"Flight": Flight}
+
+#: Timeout for worker→worker frame exchanges; beyond this a peer is
+#: treated as unreachable (the sender cannot tell a slow peer from a
+#: dead one — §1.1's fundamental ambiguity, now on real sockets).
+PEER_TIMEOUT = 1.0
+
+
+class ProcessStaleness:
+    """Staleness provider flipped by temporary-primary promotion.
+
+    While this worker serves writes the designated primary should have
+    seen, every replica it reads is possibly stale — the CCMgr then
+    degrades satisfaction degrees exactly as it does on the simulated
+    backend when a write lands on a temporary primary.
+    """
+
+    def __init__(self) -> None:
+        self.flag = False
+
+    def is_possibly_stale(self, entity: Any) -> bool:
+        return self.flag
+
+
+class WorkerNode:
+    def __init__(
+        self,
+        name: str,
+        port: int,
+        peers: dict[str, tuple[str, int]],
+        primary: str | None = None,
+    ) -> None:
+        self.name = name
+        self.port = port
+        self.peers = peers
+        self.primary = primary or min([name, *peers])
+        self.staleness = ProcessStaleness()
+        self.peer_up = {peer: True for peer in peers}
+        self.cluster = DedisysCluster(ClusterConfig(node_ids=(name,)))
+        self.cluster.deploy(Flight)
+        self.cluster.register_constraint(ticket_constraint_registration())
+        for ccmgr in self.cluster.ccmgrs.values():
+            ccmgr.staleness = self.staleness
+        # Guards all cluster access; never held across a network call.
+        self._mutex = threading.RLock()
+        self._ops = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"{name}-ops")
+        self._repl = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"{name}-repl")
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_primary(self) -> bool:
+        return self.name == self.primary
+
+    @property
+    def degraded(self) -> bool:
+        return self.staleness.flag or not all(self.peer_up.values())
+
+    def _ref(self, payload: dict[str, Any]) -> ObjectRef:
+        return ObjectRef(payload["cls"], payload["oid"])
+
+    def _entity(self, ref: ObjectRef) -> Any:
+        return self.cluster.entity_on(self.name, ref)
+
+    def _peer_request(self, peer: str, payload: dict[str, Any]) -> dict[str, Any] | None:
+        """Frame exchange with a peer; ``None`` marks it unreachable."""
+        host, port = self.peers[peer]
+        try:
+            reply = frames.request(host, port, payload, timeout=PEER_TIMEOUT)
+        except (OSError, frames.FrameError):
+            self.peer_up[peer] = False
+            return None
+        self.peer_up[peer] = True
+        return reply
+
+    def _propagate(self, kind: str, ref: ObjectRef, state: dict[str, Any], version: int) -> None:
+        """Best-effort replica propagation to every reachable peer."""
+        payload = {
+            "kind": kind,
+            "cls": ref.class_name,
+            "oid": ref.oid,
+            "state": state,
+            "version": version,
+        }
+        for peer in sorted(self.peers):
+            self._peer_request(peer, payload)
+
+    # ------------------------------------------------------------------
+    # frame handlers (ops executor)
+    # ------------------------------------------------------------------
+    def handle_create(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if not self.is_primary:
+            forwarded = self._forward_to_acting_primary(payload)
+            if forwarded is not None:
+                return forwarded
+        with self._mutex:
+            ref = self.cluster.create_entity(
+                self.name, payload["cls"], payload["oid"], payload["attrs"]
+            )
+            entity = self._entity(ref)
+            state, version = entity.state(), entity.version
+        self._propagate("replica-create", ref, state, version)
+        return {"ok": True, "cls": ref.class_name, "oid": ref.oid, "served_by": self.name}
+
+    def handle_invoke(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if not self.is_primary:
+            forwarded = self._forward_to_acting_primary(payload)
+            if forwarded is not None:
+                return forwarded
+        ref = self._ref(payload)
+        try:
+            with self._mutex:
+                result = self.cluster.invoke(
+                    self.name, ref, payload["method"], *payload.get("args", [])
+                )
+                entity = self._entity(ref)
+                state, version = entity.state(), entity.version
+        except (ConstraintViolated, ConsistencyThreatRejected) as exc:
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "served_by": self.name,
+            }
+        self._propagate("replica-update", ref, state, version)
+        with self._mutex:
+            store = self.cluster.threat_stores[self.name]
+            threats = store.count_identities()
+        return {
+            "ok": True,
+            "result": result,
+            "served_by": self.name,
+            "degraded": self.degraded,
+            "threats": threats,
+        }
+
+    def _forward_to_acting_primary(self, payload: dict[str, Any]) -> dict[str, Any] | None:
+        """Route a write to the acting primary; ``None`` = serve locally.
+
+        P4 elects exactly one temporary primary per partition.  The
+        deterministic choice is the lowest node id among the nodes this
+        worker believes alive: first the designated primary, then each
+        live lower-id peer.  Only when every one of them is unreachable
+        does this worker promote itself — flipping the staleness flag so
+        the CCMgr degrades until the driver reconciles (§4.1).
+        """
+        candidates = [self.primary] + [
+            peer
+            for peer in sorted(self.peers)
+            if peer < self.name and peer != self.primary and self.peer_up[peer]
+        ]
+        for candidate in candidates:
+            reply = self._peer_request(candidate, payload)
+            if reply is not None:
+                reply["forwarded_by"] = self.name
+                return reply
+        self.staleness.flag = True
+        return None
+
+    # ------------------------------------------------------------------
+    # frame handlers (repl executor)
+    # ------------------------------------------------------------------
+    def handle_replica_create(self, payload: dict[str, Any]) -> dict[str, Any]:
+        ref = self._ref(payload)
+        with self._mutex:
+            try:
+                entity = self._entity(ref)
+            except Exception:
+                self.cluster.create_entity(
+                    self.name, payload["cls"], payload["oid"], payload["state"]
+                )
+                entity = self._entity(ref)
+            entity.apply_state(payload["state"], version=payload["version"])
+        return {"ok": True}
+
+    def handle_replica_update(self, payload: dict[str, Any]) -> dict[str, Any]:
+        ref = self._ref(payload)
+        with self._mutex:
+            try:
+                entity = self._entity(ref)
+            except Exception:
+                return {"ok": False, "error": "unknown-object"}
+            if payload["version"] > entity.version:
+                entity.apply_state(payload["state"], version=payload["version"])
+                applied = True
+            else:
+                applied = False  # stale propagation overtaken by a newer write
+        return {"ok": True, "applied": applied}
+
+    # ------------------------------------------------------------------
+    # reconciliation frames (driver-coordinated)
+    # ------------------------------------------------------------------
+    def handle_state_dump(self, payload: dict[str, Any]) -> dict[str, Any]:
+        objects = {}
+        with self._mutex:
+            replication = self.cluster.replication
+            if replication is not None:
+                for class_name in sorted(replication._replicated_classes):
+                    for ref in replication.refs_of_class(class_name):
+                        entity = self._entity(ref)
+                        objects[f"{ref.class_name}|{ref.oid}"] = {
+                            "cls": ref.class_name,
+                            "oid": ref.oid,
+                            "state": entity.state(),
+                            "version": entity.version,
+                        }
+            store = self.cluster.threat_stores[self.name]
+            return {
+                "ok": True,
+                "node": self.name,
+                "objects": objects,
+                "threats": store.count_identities(),
+                "stored": store.stored_records(),
+                "temp_primary": self.staleness.flag,
+            }
+
+    def handle_state_apply(self, payload: dict[str, Any]) -> dict[str, Any]:
+        applied = 0
+        with self._mutex:
+            for entry in payload["objects"].values():
+                ref = ObjectRef(entry["cls"], entry["oid"])
+                try:
+                    entity = self._entity(ref)
+                except Exception:
+                    self.cluster.create_entity(self.name, entry["cls"], entry["oid"], entry["state"])
+                    entity = self._entity(ref)
+                entity.apply_state(entry["state"], version=entry["version"])
+                applied += 1
+        return {"ok": True, "applied": applied}
+
+    def handle_revalidate(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Re-check every pending threat on merged state (§4.4).
+
+        Runs after ``state-apply``: the temporary-primary flag drops, so
+        the CCMgr validates against full-consistency semantics again.
+        Satisfied threats are removed; genuine violations go to the
+        rebooking clean-up handler, and its repaired state is what the
+        driver re-broadcasts.
+        """
+        self.staleness.flag = False
+        handler = RebookingReconciliationHandler(self._entity)
+        reevaluated = satisfied = resolved = deferred = 0
+        with self._mutex:
+            ccmgr = self.cluster.ccmgrs[self.name]
+            store = self.cluster.threat_stores[self.name]
+            repository = self.cluster.repository
+            for threat in list(store.pending()):
+                reevaluated += 1
+                if not repository.knows(threat.constraint_name):
+                    store.remove(threat.identity)
+                    continue
+                registration = repository.by_name(threat.constraint_name)
+                context = (
+                    self._entity(threat.context_ref)
+                    if threat.context_ref is not None
+                    else None
+                )
+                outcome = ccmgr.validate_registration(registration, context)
+                if not outcome.is_threat and outcome.degree.name == "SATISFIED":
+                    satisfied += 1
+                    store.remove(threat.identity)
+                    continue
+                violation = SimpleNamespace(
+                    context_ref=threat.context_ref, context_entity=context
+                )
+                if handler(violation):
+                    resolved += 1
+                    store.remove(threat.identity)
+                else:
+                    deferred += 1
+                    store.mark_deferred(threat.identity)
+        return {
+            "ok": True,
+            "node": self.name,
+            "threats_reevaluated": reevaluated,
+            "satisfied_removed": satisfied,
+            "resolved_by_handler": resolved,
+            "deferred": deferred,
+            "rebooked": [
+                [f"{ref.class_name}|{ref.oid}", count]
+                for ref, count in handler.rebooked
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # loop-side handlers (must not block)
+    # ------------------------------------------------------------------
+    def handle_ping(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {"ok": True, "kind": "pong", "node": self.name}
+
+    def handle_status(self, payload: dict[str, Any]) -> dict[str, Any]:
+        store = self.cluster.threat_stores[self.name]
+        return {
+            "ok": True,
+            "node": self.name,
+            "primary": self.primary,
+            "degraded": self.degraded,
+            "temp_primary": self.staleness.flag,
+            "peer_up": dict(sorted(self.peer_up.items())),
+            "threats": store.count_identities(),
+            "stored": store.stored_records(),
+        }
+
+    # ------------------------------------------------------------------
+    # server
+    # ------------------------------------------------------------------
+    async def _probe_peers(self, interval: float) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._shutdown.is_set():
+            for peer in sorted(self.peers):
+                await loop.run_in_executor(
+                    None, self._peer_request, peer, {"kind": "ping"}
+                )
+            try:
+                await asyncio.wait_for(self._shutdown.wait(), timeout=interval)
+            except asyncio.TimeoutError:
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    payload = await frames.async_read_frame(reader)
+                except frames.FrameError:
+                    break
+                if payload is None:
+                    break
+                kind = payload.get("kind", "")
+                if kind == "ping":
+                    reply = self.handle_ping(payload)
+                elif kind == "status":
+                    reply = self.handle_status(payload)
+                elif kind == "shutdown":
+                    reply = {"ok": True, "node": self.name}
+                    await frames.async_write_frame(writer, reply)
+                    self._shutdown.set()
+                    break
+                else:
+                    handler = {
+                        "create": (self._ops, self.handle_create),
+                        "invoke": (self._ops, self.handle_invoke),
+                        "replica-create": (self._repl, self.handle_replica_create),
+                        "replica-update": (self._repl, self.handle_replica_update),
+                        "state-dump": (self._repl, self.handle_state_dump),
+                        "state-apply": (self._repl, self.handle_state_apply),
+                        "revalidate": (self._repl, self.handle_revalidate),
+                    }.get(kind)
+                    if handler is None:
+                        reply = {"ok": False, "error": f"unknown frame kind {kind!r}"}
+                    else:
+                        executor, fn = handler
+                        try:
+                            reply = await loop.run_in_executor(executor, fn, payload)
+                        except Exception as exc:  # noqa: BLE001 - report, don't die
+                            reply = {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+                await frames.async_write_frame(writer, reply)
+        finally:
+            writer.close()
+
+    async def serve(self, probe_interval: float = 0.5) -> None:
+        server = await asyncio.start_server(self._serve_connection, "127.0.0.1", self.port)
+        probe = asyncio.create_task(self._probe_peers(probe_interval))
+        print(f"READY {self.name} {self.port}", flush=True)
+        try:
+            await self._shutdown.wait()
+        finally:
+            probe.cancel()
+            server.close()
+            await server.wait_closed()
+            self._ops.shutdown(wait=False)
+            self._repl.shutdown(wait=False)
+            self.cluster.close()
+
+
+def parse_peers(spec: str) -> dict[str, tuple[str, int]]:
+    peers: dict[str, tuple[str, int]] = {}
+    if not spec:
+        return peers
+    for item in spec.split(","):
+        name, _, addr = item.partition("=")
+        host, _, port = addr.rpartition(":")
+        peers[name] = (host or "127.0.0.1", int(port))
+    return peers
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--node", required=True)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--peers", default="", help="name=host:port,name=host:port")
+    parser.add_argument("--primary", default=None)
+    parser.add_argument("--probe-interval", type=float, default=0.5)
+    args = parser.parse_args(argv)
+    worker = WorkerNode(
+        args.node, args.port, parse_peers(args.peers), primary=args.primary
+    )
+    asyncio.run(worker.serve(args.probe_interval))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The deterministic simulation backend behind the transport interface.
+
+This is the historical substrate — :class:`~repro.sim.clock.SimClock`,
+:class:`~repro.sim.scheduler.Scheduler`, :class:`~repro.net.network.SimNetwork`,
+:class:`~repro.net.multicast.GroupChannel` — constructed in exactly the
+order :class:`~repro.cluster.DedisysCluster` always built them, so that
+same-seed traces stay byte-identical to the pre-transport code.  Golden
+traces, the model checker, chaos determinism, and replint all run on this
+backend only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..net import GroupChannel, NodeId, SimNetwork
+from ..sim import CostModel, Scheduler, SimClock
+from .base import Transport
+
+
+class SimTransport(Transport):
+    """Deterministic single-process substrate (the default)."""
+
+    name = "sim"
+    deterministic = True
+
+    def __init__(
+        self,
+        node_ids: Sequence[NodeId],
+        costs: CostModel | None = None,
+        seed: int = 0,
+        obs: Any = None,
+    ) -> None:
+        self.clock = SimClock()
+        self.scheduler = Scheduler(self.clock)
+        self.network = SimNetwork(
+            node_ids,
+            scheduler=self.scheduler,
+            costs=costs if costs is not None else CostModel(),
+            seed=seed,
+            obs=obs,
+        )
+
+    def make_channel(self, group: str = "dedisys") -> GroupChannel:
+        return GroupChannel(self.network, group)

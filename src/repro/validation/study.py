@@ -15,13 +15,13 @@ scenario runs and computes the overhead ratios the paper reports:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.metadata import AffectedMethod, ConstraintRegistration
 from ..core.model import ConstraintType, PredicateConstraint
 from ..core.repository import CachingConstraintRepository
+from ..transport.wallclock import read_perf_counter
 from .approaches import APPROACHES, ScenarioRunner
 from .slices import MECHANISMS, build_slice_runner
 
@@ -32,10 +32,10 @@ def measure_runner(runner: ScenarioRunner, runs: int, warmup: int = 2) -> float:
         runner()
     # The Chapter-2 study measures *real* CPU cost of validation
     # approaches; wall-clock time is the measurement, not sim state.
-    started = time.perf_counter()  # replint: ignore[DET001]
+    started = read_perf_counter()
     for _ in range(runs):
         runner()
-    return time.perf_counter() - started  # replint: ignore[DET001]
+    return read_perf_counter() - started
 
 
 @dataclass
@@ -148,17 +148,17 @@ def measure_lookup_time(
         repository.affected_constraints(class_name, method, ConstraintType.INVARIANT_HARD)
     # Timed loop with lookups vs. the same loop without: real CPU cost is
     # the quantity under study here, so wall clock is intentional.
-    started = time.perf_counter()  # replint: ignore[DET001]
+    started = read_perf_counter()
     index = 0
     for _ in range(lookups):
         class_name, method = keys[index]
         repository.affected_constraints(class_name, method, ConstraintType.INVARIANT_HARD)
         index = (index + 1) % len(keys)
-    with_lookups = time.perf_counter() - started  # replint: ignore[DET001]
-    started = time.perf_counter()  # replint: ignore[DET001]
+    with_lookups = read_perf_counter() - started
+    started = read_perf_counter()
     index = 0
     for _ in range(lookups):
         class_name, method = keys[index]
         index = (index + 1) % len(keys)
-    without_lookups = time.perf_counter() - started  # replint: ignore[DET001]
+    without_lookups = read_perf_counter() - started
     return max(0.0, (with_lookups - without_lookups) / lookups)

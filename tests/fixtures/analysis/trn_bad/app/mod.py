@@ -1,0 +1,11 @@
+"""Outside the clock boundary: both leaks must fire TRN001."""
+
+import time
+
+
+def bare_wall_clock_read() -> float:
+    return time.time()
+
+
+def pragma_waved_through() -> float:
+    return time.monotonic()  # replint: ignore[DET001]

@@ -1,0 +1,5 @@
+"""Outside the boundary but clean: time arrives through the transport."""
+
+
+def elapsed(clock) -> float:
+    return clock.now

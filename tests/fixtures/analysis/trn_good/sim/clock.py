@@ -1,0 +1,6 @@
+"""Inside the clock boundary: the simulator owns time."""
+
+
+class SimClock:
+    def __init__(self) -> None:
+        self.now = 0.0

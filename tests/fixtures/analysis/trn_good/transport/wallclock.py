@@ -1,0 +1,7 @@
+"""Inside the clock boundary: machine-clock reads are the substrate."""
+
+import time
+
+
+def read_monotonic() -> float:
+    return time.monotonic()  # replint: ignore[DET001]

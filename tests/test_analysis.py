@@ -43,7 +43,7 @@ def run_family(fixture: str, prefix: str):
 class TestEngine:
     def test_rule_registry_covers_every_family(self):
         prefixes = {rule.code[:3] for rule in all_rules()}
-        assert prefixes == {"DET", "REG", "MSG", "MET", "PRB"}
+        assert prefixes == {"DET", "REG", "MSG", "MET", "PRB", "TRN"}
 
     def test_rule_codes_are_unique_and_described(self):
         rules = all_rules()
@@ -187,6 +187,28 @@ class TestProbePurityRule:
     def test_pure_probe_is_clean(self):
         result = run_family("prb_good", "PRB")
         assert result.findings == []
+
+
+# ------------------------------------------------- transport clock boundary
+
+
+class TestClockBoundaryRule:
+    def test_leaks_outside_boundary_fire(self):
+        result = run_family("trn_bad", "TRN")
+        assert codes_of(result) == ["TRN001", "TRN001", "TRN001"]
+        messages = sorted(finding.message for finding in result.findings)
+        assert any("time.time()" in message for message in messages)
+        assert any("time.monotonic()" in message for message in messages)
+        assert any("DET001 pragma" in message for message in messages)
+
+    def test_substrate_and_clean_consumers_pass(self):
+        result = run_family("trn_good", "TRN")
+        assert result.findings == []
+
+    def test_package_respects_the_clock_boundary(self):
+        """No module outside repro.sim/repro.transport reads a clock."""
+        result = run_analysis(SRC_REPRO, codes=frozenset({"TRN001"}))
+        assert result.findings == [], codes_of(result)
 
 
 # -------------------------------------------------------------- pragmas

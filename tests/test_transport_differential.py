@@ -1,0 +1,78 @@
+"""Sim-vs-real differential conformance suite (satellite of the
+pluggable-transport PR).
+
+The canonical scenarios from :mod:`repro.transport.differential` run on
+the deterministic simulator and on the asyncio backend; their outcome
+digests — committed entity states, threat stores, reconciliation
+counters, per-operation results — must be *equal*, not merely similar.
+The sim trace stays the golden reference: these tests pin the real
+backend to it, modulo timing (which the digest deliberately excludes).
+"""
+
+import json
+
+import pytest
+
+from repro.transport import SimTransport, build_transport
+from repro.transport.differential import SCENARIOS, run_scenario
+
+SCENARIO_NAMES = sorted(SCENARIOS)
+
+
+def canonical(digest: dict) -> str:
+    return json.dumps(digest, sort_keys=True, default=str)
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_asyncio_matches_sim_golden(name):
+    sim = run_scenario(name, "sim")
+    real = run_scenario(name, "asyncio")
+    assert canonical(real) == canonical(sim)
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_sim_digest_is_deterministic(name):
+    first = run_scenario(name, "sim")
+    second = run_scenario(name, "sim")
+    assert canonical(first) == canonical(second)
+
+
+def test_expected_scenarios_present():
+    assert {"flight_booking", "oscillating_partition", "reconcile_threats"} <= set(
+        SCENARIOS
+    )
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_digest_excludes_wall_time(name):
+    digest = run_scenario(name, "sim")
+    flat = canonical(digest)
+    assert "_seconds" not in flat
+    report = digest["reconciliation"]
+    if report is not None:
+        assert "replica_phase_seconds" not in report
+        assert "constraint_phase_seconds" not in report
+
+
+def test_digest_covers_the_guarantee_surface():
+    digest = run_scenario("flight_booking", "sim")
+    assert digest["states"], "committed entity states must be part of the digest"
+    assert set(digest["threats"]) == {"a", "b", "c"}
+    assert digest["reconciliation"] is not None
+    assert digest["rebooked"], "the §1.3 overbooking must trigger the handler"
+    for states in digest["states"].values():
+        assert len(set(map(str, states.values()))) == 1, "replicas must converge"
+
+
+def test_unknown_transport_spec_rejected():
+    with pytest.raises(ValueError):
+        build_transport("carrier-pigeon", ("a", "b"))
+
+
+def test_transport_instance_node_mismatch_rejected():
+    transport = SimTransport(("a", "b"))
+    try:
+        with pytest.raises(ValueError):
+            build_transport(transport, ("a", "b", "c"))
+    finally:
+        transport.close()

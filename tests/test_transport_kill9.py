@@ -1,0 +1,104 @@
+"""kill -9 integration: real processes, real signal, degrade-then-reconcile.
+
+Spawns the 3-process flight-booking cluster (the same machinery as
+``examples/process_cluster_demo.py``), SIGKILLs the designated primary
+while a client thread is issuing transactions, and asserts the
+dissertation's availability story on actual OS processes:
+
+* in-flight and subsequent writes keep succeeding, served by the
+  deterministically elected temporary primary;
+* degraded writes are accepted as consistency threats (tradeable
+  constraints on possibly-stale replicas);
+* after the primary restarts, driver-coordinated reconciliation merges
+  the replicas, revalidates the threats, and every worker converges.
+"""
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.transport import frames
+from repro.transport.proccluster import ProcessCluster
+
+FLIGHT = ("Flight", "K9")
+
+
+@pytest.fixture
+def cluster():
+    with ProcessCluster(("a", "b", "c"), primary="a") as cluster:
+        cluster.create("a", *FLIGHT, {"flight_number": "K9", "seats": 80, "sold": 70})
+        yield cluster
+
+
+def test_kill9_mid_transaction_degrades_and_reconciles(cluster):
+    reply = cluster.invoke("b", *FLIGHT, "sell_tickets", 5)
+    assert reply["ok"] and reply["served_by"] == "a" and reply["forwarded_by"] == "b"
+    baseline = reply["result"]
+
+    # Background client traffic: zero-count sales are full write
+    # transactions (undo log, version bump, propagation) without moving
+    # the total — the kill lands somewhere inside this stream.
+    replies: list[dict] = []
+    stop = threading.Event()
+
+    def client() -> None:
+        while not stop.is_set():
+            try:
+                replies.append(cluster.invoke("b", *FLIGHT, "sell_tickets", 0))
+            except (OSError, frames.FrameError) as exc:  # pragma: no cover
+                replies.append({"ok": False, "error": type(exc).__name__})
+            time.sleep(0.01)
+
+    thread = threading.Thread(target=client, name="kill9-client")
+    thread.start()
+    try:
+        time.sleep(0.15)
+        cluster.kill("a", signal.SIGKILL)
+        assert cluster.processes["a"].poll() is not None, "SIGKILL must be final"
+        time.sleep(0.5)
+    finally:
+        stop.set()
+        thread.join(timeout=30)
+
+    # Every request during the kill was answered: either committed or
+    # cleanly refused by the middleware — never dropped on the floor.
+    assert replies, "client thread never completed a request"
+    assert all("ok" in reply for reply in replies)
+    assert not any(reply.get("error") in ("OSError", "FrameClosed") for reply in replies)
+    served_by = {reply.get("served_by") for reply in replies if reply.get("ok")}
+    assert "b" in served_by, f"temporary primary b never served; saw {served_by}"
+
+    # Degraded writes proceed and are persisted as threats.
+    degraded = cluster.invoke("c", *FLIGHT, "sell_tickets", 3)
+    assert degraded["ok"] and degraded["served_by"] == "b"
+    assert degraded["degraded"] and degraded["threats"] >= 1
+    status = cluster.status("b")
+    assert status["temp_primary"] and status["stored"] >= 1
+
+    # Restart the killed process and reconcile: replicas converge, every
+    # threat is re-validated on merged state and resolved.
+    cluster.restart("a")
+    report = cluster.reconcile(additive={"Flight|K9": {"sold": baseline}})
+    assert set(report["participants"]) == {"a", "b", "c"}
+    assert report["threats_reevaluated"] >= 1
+    assert report["deferred"] == 0
+    states = cluster.states(*FLIGHT)
+    assert None not in states.values()
+    assert len({str(sorted(state.items())) for state in states.values()}) == 1
+    assert states["a"]["sold"] == baseline + 3
+    for node in ("a", "b", "c"):
+        assert cluster.status(node)["threats"] == 0
+
+
+def test_kill9_replica_keeps_primary_healthy(cluster):
+    """Killing a *replica* must not degrade the primary's writes."""
+    cluster.kill("c", signal.SIGKILL)
+    reply = cluster.invoke("a", *FLIGHT, "sell_tickets", 2)
+    assert reply["ok"] and reply["served_by"] == "a"
+    assert reply["threats"] == 0, "primary-side writes are not possibly stale"
+    cluster.restart("c")
+    cluster.reconcile()
+    states = cluster.states(*FLIGHT)
+    assert states["c"]["sold"] == states["a"]["sold"] == 72

@@ -1,0 +1,106 @@
+"""Real-concurrency stress: K client threads against the asyncio backend.
+
+The simulator can interleave schedules, but it cannot produce *actual*
+simultaneity — two Python threads in one transaction guard, replica
+propagation racing timer callbacks.  This suite drives the asyncio
+backend with concurrent client threads and asserts the ledger-level
+guarantees the paper's transaction chapter promises:
+
+* no lost acks — every successful ``sell_tickets`` is visible in the
+  final committed state;
+* no duplicate commits — the returned running totals form exactly the
+  sequence 1..N (each committed write observed a distinct predecessor);
+* replicas converge once the system quiesces;
+* the model checker's invariant probes are clean after quiesce.
+
+A seeded fast variant runs in tier 1; the full-width variant is marked
+``slow`` and runs when ``RUN_SLOW=1`` (the CI nightly-style flag).
+"""
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro.apps.flightbooking import Flight, ticket_constraint_registration
+from repro.check.invariants import RunProbe, default_registry
+from repro.cluster import ClusterConfig, DedisysCluster
+
+NODES = ("a", "b", "c")
+
+
+def run_stress(clients: int, ops_each: int, seed: int) -> None:
+    cluster = DedisysCluster(ClusterConfig(node_ids=NODES, transport="asyncio"))
+    try:
+        cluster.deploy(Flight)
+        cluster.register_constraint(ticket_constraint_registration())
+        ref = cluster.create_entity(
+            "a",
+            "Flight",
+            "STRESS",
+            {"flight_number": "STRESS", "seats": clients * ops_each + 1, "sold": 0},
+        )
+        totals: list[list[int]] = [[] for _ in range(clients)]
+        failures: list[BaseException] = []
+
+        def client(index: int) -> None:
+            rng = random.Random(seed * 1000 + index)
+            try:
+                for _ in range(ops_each):
+                    caller = rng.choice(NODES)
+                    totals[index].append(
+                        cluster.invoke(caller, ref, "sell_tickets", 1)
+                    )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(index,), name=f"client-{index}")
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, f"client thread failed: {failures[0]!r}"
+
+        # Quiesce: let in-flight timers fire, then check the ledger.
+        cluster.transport.settle(0.05)
+        expected = clients * ops_each
+        all_totals = sorted(total for per_client in totals for total in per_client)
+        assert all_totals == list(range(1, expected + 1)), (
+            "running totals must be a gapless, duplicate-free 1..N sequence "
+            f"(lost ack or duplicate commit otherwise); got {len(all_totals)} "
+            f"ops, min {all_totals[:3]}, max {all_totals[-3:]}"
+        )
+        for node in NODES:
+            assert cluster.entity_on(node, ref).get_sold() == expected
+        for node, store in cluster.threat_stores.items():
+            assert store.count_identities() == 0, f"healthy run left threats on {node}"
+
+        probe = RunProbe(
+            cluster=cluster,
+            refs=(ref,),
+            step=0,
+            delivered_before=0,
+            topology_before=cluster.network.topology_version,
+        )
+        violations = default_registry().evaluate(probe)
+        assert violations == [], [violation.to_dict() for violation in violations]
+        assert cluster.scheduler.errors == []
+    finally:
+        cluster.close()
+
+
+def test_concurrent_clients_fast():
+    run_stress(clients=4, ops_each=20, seed=7)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    os.environ.get("RUN_SLOW") != "1",
+    reason="full-width stress run; set RUN_SLOW=1 (CI nightly flag)",
+)
+def test_concurrent_clients_full():
+    run_stress(clients=8, ops_each=100, seed=11)
