@@ -10,7 +10,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from .baseline import compare, load_baseline, save_baseline
+from .baseline import compare, load_baseline, load_justifications, save_baseline
 from .engine import all_rules, run_analysis
 from .reporting import render_json, render_text
 
@@ -65,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated rule codes or family prefixes to run "
+        "(e.g. `--only CONC` runs CONC001..CONC005; combines with "
+        "--select by intersection)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
@@ -90,24 +97,47 @@ def main(argv: list[str] | None = None) -> int:
     root = args.root.resolve()
     if not root.is_dir():
         parser.error(f"--root {args.root} is not a directory")
+    known = {rule_cls.code for rule_cls in all_rules()}
     codes = None
     if args.select:
         codes = frozenset(code.strip() for code in args.select.split(",") if code.strip())
-        known = {rule_cls.code for rule_cls in all_rules()}
         unknown = codes - known
         if unknown:
             parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
+    if args.only:
+        only: set[str] = set()
+        for token in args.only.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if token in known:
+                only.add(token)
+                continue
+            family = {code for code in sorted(known) if code.startswith(token)}
+            if not family:
+                parser.error(f"--only {token!r} matches no rule code or family")
+            only |= family
+        codes = frozenset(only) if codes is None else codes & only
+        if not codes:
+            parser.error("--only and --select have an empty intersection")
 
     result = run_analysis(root, codes=codes)
 
     baseline_path = args.baseline if args.baseline is not None else _default_baseline()
     if args.update_baseline:
-        entries = save_baseline(baseline_path, result.findings)
+        # Carry forward the written justifications of entries that still
+        # occur; a CONC entry must never lose its rationale on refresh.
+        entries = save_baseline(
+            baseline_path,
+            result.findings,
+            justifications=load_justifications(baseline_path),
+        )
         print(f"baseline: wrote {len(entries)} entries to {baseline_path}")
         return 0
 
     baseline = {} if args.no_baseline else load_baseline(baseline_path)
-    comparison = compare(result.findings, baseline)
+    justifications = None if args.no_baseline else load_justifications(baseline_path)
+    comparison = compare(result.findings, baseline, justifications=justifications)
 
     if args.format == "json":
         report = render_json(result, comparison)

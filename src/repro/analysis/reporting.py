@@ -2,6 +2,11 @@
 
 The JSON schema is stable (``REPORT_VERSION`` bumps on breaking change)
 because CI archives the report as an artifact and tests pin the keys.
+
+Version history: 1 — initial; 2 — ``expired_details`` rows decompose
+each expired fingerprint into rule code, file, and message so baseline
+cleanup is no longer guesswork (``expired`` keeps the raw fingerprints
+for tooling that diffs against the baseline file).
 """
 
 from __future__ import annotations
@@ -11,7 +16,7 @@ import json
 from .baseline import BaselineComparison
 from .engine import AnalysisResult, Finding
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 
 def render_text(result: AnalysisResult, comparison: BaselineComparison) -> str:
@@ -23,9 +28,10 @@ def render_text(result: AnalysisResult, comparison: BaselineComparison) -> str:
         lines.append(
             f"{finding.location}: {finding.code} {finding.message} [baselined]"
         )
-    for fingerprint in comparison.expired:
+    for detail in comparison.expired_details:
         lines.append(
-            f"baseline: expired entry {fingerprint!r} — the finding is gone; "
+            f"baseline: expired {detail['code']} entry for {detail['path']} "
+            f"({detail['message']!r}) — the finding is gone; "
             "run --update-baseline to drop it"
         )
     lines.append(
@@ -58,5 +64,6 @@ def render_json(result: AnalysisResult, comparison: BaselineComparison) -> str:
         "new": rows(comparison.new),
         "baselined": rows(comparison.baselined),
         "expired": comparison.expired,
+        "expired_details": comparison.expired_details,
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -14,11 +14,24 @@ Importing this package registers every rule family with the engine:
 * ``PRB0xx`` — invariant probe purity (side-effect-free cluster reads).
 * ``TRN0xx`` — transport clock boundary (machine-clock reads confined to
   ``repro.sim`` and ``repro.transport``).
+* ``CONC0xx`` — concurrency discipline of the real transport backends
+  (guarded-by lock coverage, event-loop blocking, lock ordering, locks
+  across remote operations, unlocked lazy init), built on the
+  interprocedural index in ``repro.analysis.interproc``.
 """
 
-from . import constraints, determinism, messages, probes, registry_drift, transport
+from . import (
+    concurrency,
+    constraints,
+    determinism,
+    messages,
+    probes,
+    registry_drift,
+    transport,
+)
 
 __all__ = [
+    "concurrency",
     "constraints",
     "determinism",
     "messages",

@@ -37,6 +37,19 @@ _WALL_CLOCK = {
 #: generator class itself.
 _RANDOM_OK = {"Random"}
 
+#: The designated machine-clock source module.  Its entire purpose is
+#: reading the real clock, so DET001 does not apply there: every other
+#: module — including the rest of ``repro.transport`` — reaches time
+#: through its ``read_monotonic``/``read_perf_counter`` helpers, which
+#: the interprocedural call graph makes auditable, and TRN001 polices
+#: everything outside the transport boundary.
+_CLOCK_SOURCE_MODULES = ("transport/wallclock.py",)
+
+
+def _is_clock_source(rel_path: str) -> bool:
+    rel = rel_path.removeprefix("repro/").removeprefix("src/repro/")
+    return rel in _CLOCK_SOURCE_MODULES
+
 
 def _root_name(node: ast.expr) -> str | None:
     """The leftmost ``Name`` of an attribute chain, if any."""
@@ -64,6 +77,8 @@ class WallClockRule(Rule):
     )
 
     def check_module(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        if _is_clock_source(module.rel_path):
+            return
         for node in ast.walk(module.tree):
             if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
                 continue

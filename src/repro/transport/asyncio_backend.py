@@ -72,13 +72,17 @@ class AsyncioNetwork(Topology):
         self.ledger = CostLedger()
         self.loss_probability = loss_probability
         self.request_timeout = request_timeout
-        self._rng = random.Random(seed)
+        self._rng = random.Random(seed)  # guarded-by: _rng_lock
         self._rng_lock = threading.Lock()
-        self._handlers: dict[str, dict[NodeId, Callable[[Message], Any]]] = {
+        # Copy-on-write: mutators rebuild the whole two-level dict under
+        # the lock, so the loop thread can read a coherent snapshot
+        # without ever blocking on a lock (see _node_main).
+        self._handlers: dict[str, dict[NodeId, Callable[[Message], Any]]] = {  # guarded-by: _handlers_lock
             _P2P: {},
             _MEMBER: {},
         }
-        self._delivered: list[Message] = []
+        self._handlers_lock = threading.Lock()
+        self._delivered: list[Message] = []  # guarded-by: _delivered_lock
         self._delivered_lock = threading.Lock()
         self.injector: Any = None
         self._m_sent = self.obs.registry.counter(
@@ -107,7 +111,8 @@ class AsyncioNetwork(Topology):
         asyncio.run_coroutine_threadsafe(self._start_nodes(), self._loop).result(
             timeout=self.request_timeout
         )
-        self._closed = False
+        self._closed = False  # guarded-by: _close_lock
+        self._close_lock = threading.Lock()
 
     async def _start_nodes(self) -> None:
         for node in self.nodes:
@@ -121,19 +126,39 @@ class AsyncioNetwork(Topology):
     # ------------------------------------------------------------------
     def register_handler(self, node: NodeId, handler: Callable[[Message], Any]) -> None:
         self._require_node(node)
-        self._handlers[_P2P][node] = handler
+        self._mutate_handlers(_P2P, node, handler)
 
     def register_member_handler(
         self, node: NodeId, handler: Callable[[Message], Any]
     ) -> None:
         """Group-channel delivery handler (the channel's ``join``)."""
         self._require_node(node)
-        self._handlers[_MEMBER][node] = handler
+        self._mutate_handlers(_MEMBER, node, handler)
 
     def remove_member_handler(self, node: NodeId) -> None:
-        self._handlers[_MEMBER].pop(node, None)
+        self._mutate_handlers(_MEMBER, node, None)
+
+    def _mutate_handlers(
+        self, ns: str, node: NodeId, handler: Callable[[Message], Any] | None
+    ) -> None:
+        """Rebuild the handler table copy-on-write (``None`` removes).
+
+        Members join and leave from handler threads while the loop thread
+        dispatches; replacing the outer dict wholesale means every reader
+        sees either the old or the new table, never a dict mid-mutation.
+        """
+        with self._handlers_lock:
+            updated = dict(self._handlers[ns])
+            if handler is None:
+                updated.pop(node, None)
+            else:
+                updated[node] = handler
+            self._handlers = {**self._handlers, ns: updated}
 
     def member_nodes(self) -> tuple[NodeId, ...]:
+        # replint: ignore[CONC001] - lock-free read of the copy-on-write
+        # handler table: the reference swap in _mutate_handlers is atomic
+        # under the GIL and the snapshot is never mutated in place.
         return tuple(sorted(self._handlers[_MEMBER]))
 
     def install_fault_injector(self, injector: Any) -> Any:
@@ -211,6 +236,9 @@ class AsyncioNetwork(Topology):
         resolved from the destination's executor, so the sending thread —
         a client thread or another node's handler — simply blocks on it.
         """
+        # replint: ignore[CONC001] - lock-free flag read: a bool load is
+        # atomic under the GIL, and racing an in-flight close() can only
+        # turn into the timeout path below, which is already handled.
         if self._closed:
             raise RuntimeError("network is closed")
         with self._delivered_lock:
@@ -247,6 +275,9 @@ class AsyncioNetwork(Topology):
                         UnreachableError(message.source, message.destination)
                     )
                 continue
+            # replint: ignore[CONC001] - lock-free read on the event-loop
+            # thread: taking _handlers_lock here would trade a race for a
+            # loop stall; the copy-on-write table makes the read safe.
             handler = self._handlers[ns].get(node)
             if handler is None:
                 if not future.done():
@@ -295,9 +326,12 @@ class AsyncioNetwork(Topology):
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+        with self._close_lock:
+            # Check-then-act under the lock: two racing close() calls
+            # must not both run the teardown sequence below.
+            if self._closed:
+                return
+            self._closed = True
 
         async def _shutdown() -> None:
             for node in self.nodes:

@@ -68,9 +68,13 @@ class ProcessStaleness:
     """
 
     def __init__(self) -> None:
-        self.flag = False
+        self.flag = False  # guarded-by: _mutex
 
     def is_possibly_stale(self, entity: Any) -> bool:
+        # replint: ignore[CONC001] - lock-free bool read: on the process
+        # backend every CCMgr entry point already holds WorkerNode._mutex;
+        # the sim/asyncio backends call through CCMgr with no process
+        # mutex in scope, so requiring it here statically is impossible.
         return self.flag
 
 
@@ -87,7 +91,9 @@ class WorkerNode:
         self.peers = peers
         self.primary = primary or min([name, *peers])
         self.staleness = ProcessStaleness()
-        self.peer_up = {peer: True for peer in peers}
+        # Copy-on-write: _set_peer_up replaces the dict wholesale, so
+        # lock-free readers always see a coherent liveness snapshot.
+        self.peer_up = {peer: True for peer in peers}  # guarded-by: _mutex
         self.cluster = DedisysCluster(ClusterConfig(node_ids=(name,)))
         self.cluster.deploy(Flight)
         self.cluster.register_constraint(ticket_constraint_registration())
@@ -98,6 +104,12 @@ class WorkerNode:
         self._ops = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"{name}-ops")
         self._repl = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"{name}-repl")
         self._shutdown = asyncio.Event()
+        # Immutable snapshot served by handle_status on the event loop;
+        # rebuilt (never mutated) by _publish_status_locked under _mutex
+        # after every state change the status answer can observe.
+        self._published: dict[str, Any] = {}  # guarded-by: _mutex
+        with self._mutex:
+            self._publish_status_locked()
 
     # ------------------------------------------------------------------
     # helpers
@@ -110,11 +122,37 @@ class WorkerNode:
     def degraded(self) -> bool:
         return self.staleness.flag or not all(self.peer_up.values())
 
+    def _publish_status_locked(self) -> None:
+        """Rebuild the status snapshot; every caller holds ``_mutex``.
+
+        ``handle_status`` answers directly on the event loop for liveness
+        and therefore must not take the mutex — it reads this immutable
+        dict instead, which is replaced (never mutated) here.
+        """
+        store = self.cluster.threat_stores[self.name]
+        self._published = {
+            "degraded": self.degraded,
+            "temp_primary": self.staleness.flag,
+            "peer_up": dict(sorted(self.peer_up.items())),
+            "threats": store.count_identities(),
+            "stored": store.stored_records(),
+        }
+
     def _ref(self, payload: dict[str, Any]) -> ObjectRef:
         return ObjectRef(payload["cls"], payload["oid"])
 
     def _entity(self, ref: ObjectRef) -> Any:
         return self.cluster.entity_on(self.name, ref)
+
+    def _set_peer_up(self, peer: str, up: bool) -> None:
+        """Record peer liveness: copy-on-write rebuild under the mutex.
+
+        Taken *after* the network call returns, so the mutex is still
+        never held across a frame exchange.
+        """
+        with self._mutex:
+            self.peer_up = {**self.peer_up, peer: up}
+            self._publish_status_locked()
 
     def _peer_request(self, peer: str, payload: dict[str, Any]) -> dict[str, Any] | None:
         """Frame exchange with a peer; ``None`` marks it unreachable."""
@@ -122,9 +160,9 @@ class WorkerNode:
         try:
             reply = frames.request(host, port, payload, timeout=PEER_TIMEOUT)
         except (OSError, frames.FrameError):
-            self.peer_up[peer] = False
+            self._set_peer_up(peer, False)
             return None
-        self.peer_up[peer] = True
+        self._set_peer_up(peer, True)
         return reply
 
     def _propagate(self, kind: str, ref: ObjectRef, state: dict[str, Any], version: int) -> None:
@@ -153,6 +191,7 @@ class WorkerNode:
             )
             entity = self._entity(ref)
             state, version = entity.state(), entity.version
+            self._publish_status_locked()
         self._propagate("replica-create", ref, state, version)
         return {"ok": True, "cls": ref.class_name, "oid": ref.oid, "served_by": self.name}
 
@@ -178,13 +217,18 @@ class WorkerNode:
             }
         self._propagate("replica-update", ref, state, version)
         with self._mutex:
+            # Degradation state and the threat count must come from one
+            # coherent view — reading them outside the mutex could pair a
+            # pre-promotion flag with a post-promotion threat count.
             store = self.cluster.threat_stores[self.name]
             threats = store.count_identities()
+            degraded = self.degraded
+            self._publish_status_locked()
         return {
             "ok": True,
             "result": result,
             "served_by": self.name,
-            "degraded": self.degraded,
+            "degraded": degraded,
             "threats": threats,
         }
 
@@ -198,17 +242,23 @@ class WorkerNode:
         does this worker promote itself — flipping the staleness flag so
         the CCMgr degrades until the driver reconciles (§4.1).
         """
+        # replint: ignore[CONC001] - atomic snapshot read: peer_up is
+        # rebuilt copy-on-write under _mutex, and routing on liveness a
+        # probe is about to refresh is inherently best-effort anyway.
+        alive = self.peer_up
         candidates = [self.primary] + [
             peer
             for peer in sorted(self.peers)
-            if peer < self.name and peer != self.primary and self.peer_up[peer]
+            if peer < self.name and peer != self.primary and alive.get(peer, False)
         ]
         for candidate in candidates:
             reply = self._peer_request(candidate, payload)
             if reply is not None:
                 reply["forwarded_by"] = self.name
                 return reply
-        self.staleness.flag = True
+        with self._mutex:
+            self.staleness.flag = True
+            self._publish_status_locked()
         return None
 
     # ------------------------------------------------------------------
@@ -225,6 +275,7 @@ class WorkerNode:
                 )
                 entity = self._entity(ref)
             entity.apply_state(payload["state"], version=payload["version"])
+            self._publish_status_locked()
         return {"ok": True}
 
     def handle_replica_update(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -239,6 +290,7 @@ class WorkerNode:
                 applied = True
             else:
                 applied = False  # stale propagation overtaken by a newer write
+            self._publish_status_locked()
         return {"ok": True, "applied": applied}
 
     # ------------------------------------------------------------------
@@ -280,6 +332,7 @@ class WorkerNode:
                     entity = self._entity(ref)
                 entity.apply_state(entry["state"], version=entry["version"])
                 applied += 1
+            self._publish_status_locked()
         return {"ok": True, "applied": applied}
 
     def handle_revalidate(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -291,10 +344,12 @@ class WorkerNode:
         rebooking clean-up handler, and its repaired state is what the
         driver re-broadcasts.
         """
-        self.staleness.flag = False
         handler = RebookingReconciliationHandler(self._entity)
         reevaluated = satisfied = resolved = deferred = 0
         with self._mutex:
+            # Demote inside the mutex: the flag write races the ops
+            # executor's degraded/threat reads if it happens outside.
+            self.staleness.flag = False
             ccmgr = self.cluster.ccmgrs[self.name]
             store = self.cluster.threat_stores[self.name]
             repository = self.cluster.repository
@@ -323,6 +378,7 @@ class WorkerNode:
                 else:
                     deferred += 1
                     store.mark_deferred(threat.identity)
+            self._publish_status_locked()
         return {
             "ok": True,
             "node": self.name,
@@ -343,16 +399,22 @@ class WorkerNode:
         return {"ok": True, "kind": "pong", "node": self.name}
 
     def handle_status(self, payload: dict[str, Any]) -> dict[str, Any]:
-        store = self.cluster.threat_stores[self.name]
+        """Answer from the published snapshot — never touch the cluster.
+
+        This runs on the event loop; reading the threat store or liveness
+        dicts directly would race the ops/repl executors mid-mutation
+        (the old implementation did exactly that).  The snapshot is an
+        immutable dict replaced under ``_mutex``, so the lone reference
+        read below is atomic and coherent.
+        """
+        # replint: ignore[CONC001] - atomic reference read of the
+        # immutable snapshot published under _mutex; see docstring.
+        published = self._published
         return {
             "ok": True,
             "node": self.name,
             "primary": self.primary,
-            "degraded": self.degraded,
-            "temp_primary": self.staleness.flag,
-            "peer_up": dict(sorted(self.peer_up.items())),
-            "threats": store.count_identities(),
-            "stored": store.stored_records(),
+            **published,
         }
 
     # ------------------------------------------------------------------
@@ -426,7 +488,11 @@ class WorkerNode:
             await server.wait_closed()
             self._ops.shutdown(wait=False)
             self._repl.shutdown(wait=False)
-            self.cluster.close()
+            # Cluster teardown can block (transport close joins threads);
+            # run it off-loop so shutdown never wedges the event loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.cluster.close
+            )
 
 
 def parse_peers(spec: str) -> dict[str, tuple[str, int]]:

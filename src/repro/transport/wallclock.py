@@ -1,10 +1,13 @@
 """Wall-clock time sources for the real backends.
 
-This module is — together with ``repro.sim`` — the only place in the
-package allowed to read the machine clock (enforced by replint's TRN001
-clock-boundary rule).  Everything else reaches time through the
-transport's ``clock`` and ``scheduler``, which is exactly what makes the
-same middleware stack runnable on both substrates.
+This module is the package's designated machine-clock source: replint's
+DET001 exempts exactly this file, the TRN001 clock-boundary rule rejects
+direct reads outside ``repro.sim``/``repro.transport``, and the
+interprocedural call graph makes every other module's path to real time
+run through ``read_monotonic``/``read_perf_counter`` below.  Everything
+else reaches time through the transport's ``clock`` and ``scheduler``,
+which is exactly what makes the same middleware stack runnable on both
+substrates.
 
 :class:`WallClock` mirrors the :class:`~repro.sim.clock.SimClock` surface.
 The crucial difference: ``advance`` is how the simulator *moves* time when
@@ -35,7 +38,7 @@ from ..sim.scheduler import Event
 
 def read_monotonic() -> float:
     """Raw monotonic seconds (transport-internal clock source)."""
-    return time.monotonic()  # replint: ignore[DET001]
+    return time.monotonic()
 
 
 def read_perf_counter() -> float:
@@ -45,7 +48,7 @@ def read_perf_counter() -> float:
     Python execution time; they must do so through this helper so the
     clock boundary stays auditable.
     """
-    return time.perf_counter()  # replint: ignore[DET001]
+    return time.perf_counter()
 
 
 class WallClock:
@@ -88,10 +91,10 @@ class RealScheduler:
 
     def __init__(self, clock: WallClock | None = None) -> None:
         self.clock = clock if clock is not None else WallClock()
-        self._heap: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []  # guarded-by: _cond
+        self._counter = itertools.count()  # guarded-by: _cond
         self._cond = threading.Condition()
-        self._closed = False
+        self._closed = False  # guarded-by: _cond
         #: Exceptions raised by timer callbacks (the thread must survive
         #: a failing heartbeat); tests assert this stays empty.
         self.errors: list[BaseException] = []

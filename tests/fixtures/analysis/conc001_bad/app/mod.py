@@ -1,0 +1,28 @@
+"""Planted CONC001: one unguarded read of a guarded-by field.
+
+``snapshot`` reads ``_items`` with no lock on any path; ``_count_locked``
+is also lock-free *locally* but every caller holds the lock, which the
+interprocedural ``holds`` fixpoint must prove (no finding).
+"""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def snapshot(self):
+        return list(self._items)  # BUG: read without _lock
+
+    def _count_locked(self):
+        return len(self._items)  # clean: callers always hold _lock
+
+    def count(self):
+        with self._lock:
+            return self._count_locked()

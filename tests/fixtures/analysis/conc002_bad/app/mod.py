@@ -1,0 +1,33 @@
+"""Planted CONC002: blocking work reachable from event-loop context.
+
+``run`` (a coroutine) calls ``_work`` inline, so its ``time.sleep``
+lands on the loop; ``_tick`` is registered via ``call_soon_threadsafe``
+and takes a threading lock on the loop.  ``safe`` routes the same
+``_work`` through an executor — a spawn boundary, so no finding there.
+"""
+
+import asyncio
+import threading
+import time
+
+
+class Pump:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def run(self):
+        self._work()
+
+    def _work(self):
+        time.sleep(0.1)  # BUG: blocks the loop via run()
+
+    async def safe(self):
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._work)
+
+    def kick(self, loop):
+        loop.call_soon_threadsafe(self._tick)
+
+    def _tick(self):
+        with self._lock:  # BUG: lock acquire on the loop thread
+            pass

@@ -1,0 +1,27 @@
+"""Planted CONC003: two locks acquired in conflicting orders.
+
+``forward`` nests ``_b`` under ``_a`` locally; ``backward`` holds ``_b``
+while calling ``_use_a``, which acquires ``_a`` — an interprocedural
+edge closing the cycle.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            self._use_a()  # BUG: acquires _a while holding _b
+
+    def _use_a(self):
+        with self._a:
+            pass

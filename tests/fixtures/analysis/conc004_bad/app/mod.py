@@ -1,0 +1,36 @@
+"""Planted CONC004: locks held across remote operations.
+
+Three shapes: direct socket I/O under a lock, a call whose callee
+transitively reaches network I/O, and a threading lock held across an
+``await``.
+"""
+
+import asyncio
+import socket
+import threading
+
+
+class Sender:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def send_locked(self, sock, data):
+        with self._lock:
+            sock.sendall(data)  # BUG: direct network I/O under _lock
+
+    def relay(self, host):
+        with self._lock:
+            self._dial(host)  # BUG: _dial reaches create_connection
+
+    def _dial(self, host):
+        conn = socket.create_connection((host, 9))
+        conn.shutdown(0)
+
+
+class AsyncHolder:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def held_await(self):
+        with self._lock:
+            await asyncio.sleep(0)  # BUG: _lock held across await

@@ -1,0 +1,24 @@
+"""Planted CONC005: check-then-act lazy init outside the class's lock.
+
+``table`` tests and assigns ``self._table`` with no lock held;
+``table_locked`` does the same dance under the lock (no finding).
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = None
+
+    def table(self):
+        if self._table is None:  # BUG: two racers both build the table
+            self._table = {}
+        return self._table
+
+    def table_locked(self):
+        with self._lock:
+            if self._table is None:
+                self._table = {}
+            return self._table

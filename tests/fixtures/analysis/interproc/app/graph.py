@@ -1,0 +1,73 @@
+"""Exercise tree for the interprocedural index itself.
+
+Shapes under test: diamond call graph with a lock at the apex (the
+``holds`` fixpoint must prove the shared leaf), direct recursion (the
+fixpoints must terminate), dynamic dispatch through a base-annotated
+parameter (subclass widening), unique-name fallback on an untyped
+receiver, and a property access acting as a call edge.
+"""
+
+import threading
+
+
+class Diamond:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0  # guarded-by: _lock
+
+    def top(self):
+        with self._lock:
+            self.left()
+            self.right()
+
+    def left(self):
+        self.bottom()
+
+    def right(self):
+        self.bottom()
+
+    def bottom(self):
+        self._value += 1  # clean: both diamond paths hold _lock
+
+
+def spin(n):
+    if n:
+        spin(n - 1)
+    return n
+
+
+class Base:
+    def hook(self):
+        return "base"
+
+
+class Impl(Base):
+    def hook(self):
+        return "impl"
+
+
+def dispatch(obj: Base):
+    return obj.hook()
+
+
+class DuckTarget:
+    def distinctive_quack(self):
+        return "quack"
+
+
+def duck(thing):
+    return thing.distinctive_quack()
+
+
+class WithProp:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._x = 1  # guarded-by: _lock
+
+    @property
+    def x(self):
+        return self._x  # clean: property loads carry the caller's lock
+
+    def read(self):
+        with self._lock:
+            return self.x

@@ -1,7 +1,11 @@
-"""Inside the clock boundary: machine-clock reads are the substrate."""
+"""Inside the clock boundary: machine-clock reads are the substrate.
+
+The designated clock-source module needs no DET001 pragma — the rule
+exempts ``transport/wallclock.py`` itself.
+"""
 
 import time
 
 
 def read_monotonic() -> float:
-    return time.monotonic()  # replint: ignore[DET001]
+    return time.monotonic()

@@ -12,7 +12,9 @@ from repro.analysis.baseline import (
     BaselineComparison,
     compare,
     load_baseline,
+    load_justifications,
     save_baseline,
+    split_fingerprint,
 )
 from repro.analysis.engine import (
     Finding,
@@ -43,7 +45,7 @@ def run_family(fixture: str, prefix: str):
 class TestEngine:
     def test_rule_registry_covers_every_family(self):
         prefixes = {rule.code[:3] for rule in all_rules()}
-        assert prefixes == {"DET", "REG", "MSG", "MET", "PRB", "TRN"}
+        assert prefixes == {"DET", "REG", "MSG", "MET", "PRB", "TRN", "CON"}
 
     def test_rule_codes_are_unique_and_described(self):
         rules = all_rules()
@@ -211,6 +213,60 @@ class TestClockBoundaryRule:
         assert result.findings == [], codes_of(result)
 
 
+# ----------------------------------------------------------- concurrency
+
+
+class TestConcurrencyRules:
+    def test_unguarded_field_access(self):
+        result = run_family("conc001_bad", "CONC")
+        assert codes_of(result) == ["CONC001"]
+        message = result.findings[0].message
+        assert "'_items'" in message
+        assert "Store.snapshot" in message
+        assert "'_lock'" in message
+
+    def test_blocking_call_reachable_from_coroutine(self):
+        result = run_family("conc002_bad", "CONC")
+        assert codes_of(result) == ["CONC002", "CONC002"]
+        messages = sorted(finding.message for finding in result.findings)
+        # Interprocedural: the sleep lives in a helper, the message names
+        # the coroutine it is reached from.
+        assert "time.sleep() in Pump._work" in messages[1]
+        assert "(reached from Pump.run)" in messages[1]
+        # call_soon_threadsafe callbacks are loop roots of their own.
+        assert "acquire of _lock in Pump._tick" in messages[0]
+
+    def test_lock_order_inversion_across_functions(self):
+        result = run_family("conc003_bad", "CONC")
+        assert codes_of(result) == ["CONC003"]
+        assert "'_a', '_b'" in result.findings[0].message
+
+    def test_lock_held_across_remote_ops(self):
+        result = run_family("conc004_bad", "CONC")
+        held = [f.message for f in result.findings if f.code == "CONC004"]
+        assert len(held) == 3
+        assert any("across socket sendall()" in m for m in held)
+        assert any(
+            "across call to _dial() in Sender.relay "
+            "(reaches socket create_connection())" in m
+            for m in held
+        )
+        assert any("across await in AsyncHolder.held_await" in m for m in held)
+
+    def test_unlocked_lazy_init(self):
+        result = run_family("conc005_bad", "CONC")
+        assert codes_of(result) == ["CONC005"]
+        assert "'_table' in Cache.table" in result.findings[0].message
+
+    def test_disciplined_tree_is_clean(self):
+        result = run_family("conc_good", "CONC")
+        assert result.findings == []
+
+    def test_interproc_fixture_is_clean(self):
+        result = run_family("interproc", "CONC")
+        assert result.findings == []
+
+
 # -------------------------------------------------------------- pragmas
 
 
@@ -293,6 +349,72 @@ class TestBaseline:
     def test_clean_run_against_empty_baseline_is_ok(self):
         assert compare([], {}).ok
 
+    def test_split_fingerprint(self):
+        parts = split_fingerprint("CONC001:transport/x.py:field 'a': bad")
+        assert parts["code"] == "CONC001"
+        assert parts["path"] == "transport/x.py"
+        assert parts["message"] == "field 'a': bad"
+
+
+class TestBaselineJustifications:
+    CONC = "CONC001:mod.py:boom"
+
+    def conc_finding(self) -> Finding:
+        return _finding(code="CONC001")
+
+    def test_object_entries_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": {
+                        self.CONC: {"count": 2, "justification": "GIL-atomic read"},
+                        "DET001:mod.py:boom": 1,
+                    },
+                }
+            )
+        )
+        assert load_baseline(path) == {self.CONC: 2, "DET001:mod.py:boom": 1}
+        assert load_justifications(path) == {self.CONC: "GIL-atomic read"}
+
+    def test_baselined_conc_without_justification_is_new(self):
+        finding = self.conc_finding()
+        comparison = compare([finding], {self.CONC: 1}, justifications={})
+        assert comparison.new == [finding]
+        assert comparison.baselined == []
+
+    def test_baselined_conc_with_justification_is_accepted(self):
+        finding = self.conc_finding()
+        comparison = compare(
+            [finding], {self.CONC: 1}, justifications={self.CONC: "argued"}
+        )
+        assert comparison.new == []
+        assert comparison.baselined == [finding]
+
+    def test_non_conc_families_need_no_justification(self):
+        finding = _finding()  # DET001
+        comparison = compare(
+            [finding], {finding.fingerprint: 1}, justifications={}
+        )
+        assert comparison.baselined == [finding]
+
+    def test_update_carries_justification_forward(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(
+            path,
+            [self.conc_finding(), _finding()],
+            justifications={self.CONC: "argued"},
+        )
+        assert load_justifications(path) == {self.CONC: "argued"}
+        payload = json.loads(path.read_text())
+        assert payload["findings"][self.CONC] == {
+            "count": 1,
+            "justification": "argued",
+        }
+        # The non-CONC entry stays in compact bare-count form.
+        assert payload["findings"]["DET001:mod.py:boom"] == 1
+
 
 # ------------------------------------------------------------ reporting
 
@@ -304,7 +426,7 @@ class TestReporting:
     def test_json_schema_is_pinned(self):
         result = run_family("det_bad", "DET")
         payload = json.loads(render_json(result, compare(result.findings, {})))
-        assert payload["version"] == REPORT_VERSION == 1
+        assert payload["version"] == REPORT_VERSION == 2
         assert set(payload) == {
             "version",
             "root",
@@ -313,6 +435,7 @@ class TestReporting:
             "new",
             "baselined",
             "expired",
+            "expired_details",
         }
         assert set(payload["summary"]) == {
             "files_scanned",
@@ -341,12 +464,27 @@ class TestReporting:
         text = render_text(result, compare(result.findings, {}))
         assert text.endswith("OK")
 
-    def test_expired_entries_reported(self):
+    def test_expired_entries_reported_with_code_and_file(self):
         result = run_family("det_good", "DET")
         comparison = compare(result.findings, {"DET001:gone.py:fixed": 1})
         text = render_text(result, comparison)
-        assert "expired entry" in text
+        assert "expired DET001 entry for gone.py" in text
+        assert "'fixed'" in text
         assert text.endswith("FAIL")
+
+    def test_expired_details_in_json(self):
+        result = run_family("det_good", "DET")
+        comparison = compare(result.findings, {"DET001:gone.py:fixed": 1})
+        payload = json.loads(render_json(result, comparison))
+        assert payload["expired"] == ["DET001:gone.py:fixed"]
+        assert payload["expired_details"] == [
+            {
+                "fingerprint": "DET001:gone.py:fixed",
+                "code": "DET001",
+                "path": "gone.py",
+                "message": "fixed",
+            }
+        ]
 
 
 # ------------------------------------------------------------------ CLI
@@ -401,6 +539,73 @@ class TestCli:
     def test_unknown_select_is_usage_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             cli.main(["--select", "NOPE999"])
+        assert excinfo.value.code == 2
+
+    def test_only_expands_a_family(self, capsys):
+        rc = cli.main(
+            [
+                "--root",
+                str(FIXTURES / "conc003_bad"),
+                "--no-baseline",
+                "--only",
+                "CONC",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == [
+            "CONC001",
+            "CONC002",
+            "CONC003",
+            "CONC004",
+            "CONC005",
+        ]
+        assert {row["code"] for row in payload["new"]} == {"CONC003"}
+
+    def test_only_accepts_exact_codes(self, capsys):
+        rc = cli.main(
+            [
+                "--root",
+                str(FIXTURES / "det_bad"),
+                "--no-baseline",
+                "--only",
+                "DET001,DET004",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["DET001", "DET004"]
+
+    def test_only_intersects_with_select(self, capsys):
+        rc = cli.main(
+            [
+                "--root",
+                str(FIXTURES / "det_bad"),
+                "--no-baseline",
+                "--select",
+                "DET001,DET002",
+                "--only",
+                "DET",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["DET001", "DET002"]
+
+    def test_only_unknown_family_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--only", "ZZZ"])
+        assert excinfo.value.code == 2
+
+    def test_only_empty_intersection_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--select", "DET001", "--only", "MSG"])
         assert excinfo.value.code == 2
 
     def test_output_file_written(self, tmp_path, capsys):

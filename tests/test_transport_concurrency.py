@@ -1,0 +1,159 @@
+"""Regression tests for the races the CONC analyzer surfaced (PR 10).
+
+Each test here pins a concrete fix in the transport backends:
+
+* member join/leave churn vs. ``member_nodes``/``multicast`` — the
+  handler table is copy-on-write, so readers never iterate a dict that
+  is being mutated (pre-fix: ``RuntimeError: dictionary changed size``);
+* concurrent ``close()`` — check-then-act on ``_closed`` now happens
+  under ``_close_lock``, so exactly one caller runs the teardown;
+* ``WorkerNode`` status vs. invoke — ``handle_status`` answers from an
+  immutable snapshot published under ``_mutex``, so a loop-thread status
+  read can never observe a half-updated threat store or liveness dict,
+  and the temp-primary flag flips only inside the mutex.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.transport.asyncio_backend import AsyncioTransport
+from repro.transport.procnode import WorkerNode
+
+NODES = ("a", "b", "c")
+
+
+def run_threads(targets):
+    failures: list[BaseException] = []
+
+    def wrap(fn):
+        def runner():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        return runner
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert failures == [], failures
+
+
+class TestHandlerTableChurn:
+    def test_member_churn_vs_reads(self):
+        transport = AsyncioTransport(NODES)
+        channel = transport.make_channel()
+        try:
+            channel.join("a", lambda message: "ack-a")
+
+            def churn():
+                for _ in range(300):
+                    channel.join("b", lambda message: "ack-b")
+                    channel.leave("b")
+
+            def read():
+                for _ in range(300):
+                    members = transport.network.member_nodes()
+                    assert "a" in members
+
+            def cast():
+                for _ in range(100):
+                    replies = channel.multicast("a", "noop", {})
+                    assert set(replies) <= {"b", "c"}
+
+            run_threads([churn, read, cast])
+        finally:
+            transport.close()
+
+    def test_handler_table_swap_is_visible(self):
+        transport = AsyncioTransport(NODES)
+        try:
+            seen: list[str] = []
+            transport.network.register_handler(
+                "b", lambda message: seen.append(message.kind)
+            )
+            transport.network.send("a", "b", "hello", {})
+            assert seen == ["hello"]
+        finally:
+            transport.close()
+
+
+class TestConcurrentClose:
+    def test_double_close_races_cleanly(self):
+        transport = AsyncioTransport(NODES)
+        run_threads([transport.close] * 4)
+        # And an idempotent follow-up close on the same thread.
+        transport.close()
+        with pytest.raises(RuntimeError):
+            transport.network.send("a", "b", "late", {})
+
+
+class TestWorkerNodeStatus:
+    def make_worker(self) -> WorkerNode:
+        # No peers: the worker is its own primary and never dials out.
+        return WorkerNode("a", port=0, peers={})
+
+    def test_status_served_from_snapshot_before_any_op(self):
+        worker = self.make_worker()
+        status = worker.handle_status({"kind": "status"})
+        assert status["ok"] is True
+        assert status["degraded"] is False
+        assert status["threats"] == 0
+        assert status["peer_up"] == {}
+
+    def test_status_vs_invoke_threads(self):
+        worker = self.make_worker()
+        create = worker.handle_create(
+            {
+                "kind": "create",
+                "cls": "Flight",
+                "oid": "F1",
+                "attrs": {"flight_number": "F1", "seats": 5000, "sold": 0},
+            }
+        )
+        assert create["ok"] is True
+
+        def invoke():
+            for _ in range(60):
+                reply = worker.handle_invoke(
+                    {
+                        "kind": "invoke",
+                        "cls": "Flight",
+                        "oid": "F1",
+                        "method": "sell_tickets",
+                        "args": [1],
+                    }
+                )
+                assert reply["ok"] is True
+
+        def status():
+            for _ in range(200):
+                reply = worker.handle_status({"kind": "status"})
+                assert reply["ok"] is True
+                assert isinstance(reply["degraded"], bool)
+                assert isinstance(reply["threats"], int)
+
+        run_threads([invoke, status])
+
+    def test_promotion_and_demotion_update_snapshot(self):
+        # An unreachable peer port: promotion happens after the forward
+        # fails, and must be visible in the published status.
+        worker = WorkerNode("b", port=0, peers={"a": ("127.0.0.1", 1)}, primary="a")
+        assert worker._forward_to_acting_primary({"kind": "invoke"}) is None
+        assert worker.staleness.flag is True
+        status = worker.handle_status({"kind": "status"})
+        assert status["temp_primary"] is True
+        assert status["degraded"] is True
+        assert status["peer_up"] == {"a": False}
+
+        reply = worker.handle_revalidate({"kind": "revalidate"})
+        assert reply["ok"] is True
+        assert worker.staleness.flag is False
+        status = worker.handle_status({"kind": "status"})
+        assert status["temp_primary"] is False
